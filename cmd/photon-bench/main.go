@@ -1,0 +1,93 @@
+// Command photon-bench regenerates the paper's tables and evaluation
+// figures (13-17). Every figure sweeps benchmarks × sizes × runners and
+// prints rows with kernel-time error vs full-detailed mode and host
+// wall-time speedup.
+//
+//	photon-bench -exp fig13
+//	photon-bench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"photon/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig13|fig14|fig15|fig16|fig17|offline|waitcnt|extensions|baselines|all")
+		quick    = flag.Bool("quick", false, "smallest problem size per benchmark only")
+		prNodes  = flag.Int("pr-nodes", 64*1024, "PageRank node count for fig16")
+		jsonPath = flag.String("json", "", "also write every comparison as JSON lines to this file")
+	)
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	o.Quick = *quick
+	o.PRNodes = *prNodes
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "photon-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		o.JSON = harness.NewJSONSink(f)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s regenerated in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	w := os.Stdout
+	all := *exp == "all"
+	if all || *exp == "table1" {
+		harness.Table1(w)
+		fmt.Println()
+	}
+	if all || *exp == "table2" {
+		harness.Table2(w)
+		fmt.Println()
+	}
+	if all || *exp == "fig13" {
+		run("fig13", func() error { return harness.Fig13(w, o) })
+	}
+	if all || *exp == "fig14" {
+		run("fig14", func() error { return harness.Fig14(w, o) })
+	}
+	if all || *exp == "fig15" {
+		run("fig15", func() error { return harness.Fig15(w, o) })
+	}
+	if all || *exp == "fig16" {
+		run("fig16", func() error { return harness.Fig16(w, o) })
+	}
+	if all || *exp == "fig17" {
+		run("fig17", func() error { return harness.Fig17(w, o) })
+	}
+	if all || *exp == "offline" {
+		run("offline", func() error { return harness.Offline(w, o) })
+	}
+	if all || *exp == "waitcnt" {
+		run("waitcnt", func() error { return harness.WaitcntAblation(w, o) })
+	}
+	if all || *exp == "extensions" {
+		run("extensions", func() error { return harness.ExtensionsExperiment(w, o) })
+	}
+	if all || *exp == "baselines" {
+		run("baselines", func() error { return harness.Baselines(w, o) })
+	}
+	switch *exp {
+	case "all", "table1", "table2", "fig13", "fig14", "fig15", "fig16", "fig17", "offline", "waitcnt", "extensions", "baselines":
+	default:
+		fmt.Fprintf(os.Stderr, "photon-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

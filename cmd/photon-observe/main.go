@@ -1,0 +1,104 @@
+// Command photon-observe regenerates the paper's observation figures
+// (Section 3): IPC-over-time behavior (Figure 1), basic-block timing
+// stability (Figures 2 and 3), warp timing (Figure 4), GPU-BBV clustering of
+// VGG-16 kernels against their IPC (Figure 6), and the all-vs-sampled
+// distribution comparisons (Figures 8 and 11).
+//
+//	photon-observe -exp fig3
+//	photon-observe -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"photon/internal/harness"
+	"photon/internal/sim/gpu"
+	"photon/internal/viz"
+	"photon/internal/workloads/dnn"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "figure: fig1|fig2|fig3|fig4|fig6|fig8|fig11|all")
+		arch   = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
+		svgDir = flag.String("svg", "", "also render figures as SVG into this directory (fig1)")
+	)
+	flag.Parse()
+
+	cfg, ok := gpu.Configs(*arch)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "photon-observe: unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+	w := os.Stdout
+	all := *exp == "all"
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "photon-observe: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	known := false
+	if all || *exp == "fig1" {
+		fail(harness.Fig1(w, cfg))
+		if *svgDir != "" {
+			fail(renderFig1SVG(*svgDir, cfg))
+		}
+		known = true
+	}
+	if all || *exp == "fig2" {
+		fail(harness.Fig2(w, cfg))
+		known = true
+	}
+	if all || *exp == "fig3" {
+		fail(harness.Fig3(w, cfg))
+		known = true
+	}
+	if all || *exp == "fig4" {
+		fail(harness.Fig4(w, cfg))
+		known = true
+	}
+	if all || *exp == "fig6" {
+		// A reduced DNN scale keeps the full-detailed VGG pass short.
+		fail(harness.Fig6(w, cfg, dnn.Scale{Input: 32, ChannelDiv: 8}))
+		known = true
+	}
+	if all || *exp == "fig8" {
+		fail(harness.Fig8(w))
+		known = true
+	}
+	if all || *exp == "fig11" {
+		fail(harness.Fig11(w))
+		known = true
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "photon-observe: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// renderFig1SVG writes the Figure 1 IPC-over-time line chart.
+func renderFig1SVG(dir string, cfg gpu.Config) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names, data, err := harness.Fig1Data(cfg)
+	if err != nil {
+		return err
+	}
+	var series []viz.Series
+	for _, n := range names {
+		series = append(series, viz.Series{Name: n, Values: data[n]})
+	}
+	svg := viz.LineChart("Figure 1: IPC over time", "cycles", "IPC",
+		float64(harness.Fig1IPCWindow), series)
+	path := filepath.Join(dir, "fig1_ipc.svg")
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

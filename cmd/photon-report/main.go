@@ -1,0 +1,40 @@
+// Command photon-report summarizes JSON-lines results produced by
+// photon-bench -json: per (experiment, runner) it prints the paper's
+// headline aggregates — mean/max sampling error and geometric-mean/max
+// wall-time speedup.
+//
+//	photon-bench -exp fig13 -json fig13.jsonl
+//	photon-report fig13.jsonl [more.jsonl ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"photon/internal/harness"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: photon-report <results.jsonl> [...]")
+		os.Exit(2)
+	}
+	var all []harness.Record
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "photon-report: %v\n", err)
+			os.Exit(1)
+		}
+		recs, err := harness.ReadRecords(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "photon-report: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		all = append(all, recs...)
+	}
+	harness.PrintSummaries(os.Stdout, harness.Summarize(all))
+}

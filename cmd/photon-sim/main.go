@@ -1,0 +1,202 @@
+// Command photon-sim runs one GPU workload under one simulation
+// methodology and reports kernel execution time, instruction counts and
+// host wall time.
+//
+//	photon-sim -bench MM -size 1024 -arch r9nano -mode photon
+//	photon-sim -bench resnet18 -mode full
+//	photon-sim -bench spmv -size 2048 -mode pka -per-kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"photon/internal/baseline/pka"
+	"photon/internal/core"
+	"photon/internal/harness"
+	"photon/internal/sim/gpu"
+	"photon/internal/sim/isa"
+	"photon/internal/sim/trace"
+	"photon/internal/workloads"
+	"photon/internal/workloads/dnn"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "MM", "benchmark: AES|FIR|SC|MM|ReLU|SPMV|pr|vgg16|vgg19|resnet18|resnet34|resnet50|resnet101|resnet152")
+		size      = flag.Int("size", 0, "problem size in warps (single-kernel benchmarks; 0 = first figure size); node count for pr")
+		arch      = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
+		mode      = flag.String("mode", "photon", "runner: full|photon|pka|bb|warp|kernel")
+		perKernel = flag.Bool("per-kernel", false, "print one row per kernel launch")
+		check     = flag.Bool("check", false, "verify functional correctness after simulation (where supported)")
+		store     = flag.String("analysis-store", "", "offline Photon: JSON file caching online-analysis profiles (created if missing)")
+		splitWait = flag.Bool("split-waitcnt", false, "also end basic blocks at s_waitcnt (paper future-work variant)")
+		tracePath = flag.String("trace", "", "write an execution trace (full mode only)")
+		traceLvl  = flag.String("trace-level", "warp", "trace detail: warp|block|inst")
+		disasm    = flag.Bool("disasm", false, "print each kernel's disassembly and exit")
+	)
+	flag.Parse()
+
+	cfg, ok := gpu.Configs(*arch)
+	if !ok {
+		fatal("unknown arch %q", *arch)
+	}
+	app, err := buildApp(*bench, *size)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *splitWait {
+		app = app.WithBlockOptions(isa.BlockOptions{SplitAtWaitcnt: true})
+	}
+	if *disasm {
+		seen := map[uint64]bool{}
+		for _, l := range app.Launches {
+			if seen[l.Program.Fingerprint] {
+				continue
+			}
+			seen[l.Program.Fingerprint] = true
+			fmt.Println(l.Program.Disassemble())
+		}
+		return
+	}
+	runner, err := buildRunner(*mode, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		fr, ok := runner.(gpu.FullRunner)
+		if !ok {
+			fatal("-trace requires -mode full")
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		level := map[string]trace.Level{
+			"warp": trace.LevelWarp, "block": trace.LevelBlock, "inst": trace.LevelInst,
+		}[*traceLvl]
+		tracer = trace.New(f, level)
+		fr.Observer = tracer
+		runner = fr
+	}
+	var analysisStore *core.AnalysisStore
+	if *store != "" {
+		ph, ok := runner.(*core.Photon)
+		if !ok {
+			fatal("-analysis-store requires a Photon mode (photon|bb|warp|kernel)")
+		}
+		analysisStore = core.NewAnalysisStore()
+		if err := analysisStore.LoadFile(*store); err != nil && !os.IsNotExist(err) {
+			fatal("loading analysis store: %v", err)
+		}
+		ph.SetStore(analysisStore)
+	}
+
+	res, err := harness.RunApp(cfg, app, runner)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *perKernel {
+		fmt.Printf("%-12s %-14s %14s %14s %10s\n", "kernel", "mode", "cycles", "insts", "wall_ms")
+		for _, k := range res.PerKernel {
+			fmt.Printf("%-12s %-14s %14d %14d %10.2f\n",
+				k.Name, k.Mode, k.SimTime, k.Insts, float64(k.Wall.Microseconds())/1000)
+		}
+	}
+	fmt.Printf("app=%s arch=%s runner=%s kernels=%d\n", app.Name, cfg.Name, runner.Name(), len(app.Launches))
+	fmt.Printf("kernel_time_cycles=%d insts=%d wall=%s\n", res.KernelTime, res.Insts, res.Wall)
+	if analysisStore != nil {
+		fmt.Printf("analysis store: %d profiles, %d hits, %d misses\n",
+			analysisStore.Len(), analysisStore.Hits(), analysisStore.Misses())
+		if err := analysisStore.SaveFile(*store); err != nil {
+			fatal("saving analysis store: %v", err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fatal("flushing trace: %v", err)
+		}
+		fmt.Printf("trace: %d warps, %d blocks, %d insts -> %s\n",
+			tracer.Warps, tracer.Blocks, tracer.Insts, *tracePath)
+	}
+	if *check {
+		if app.Check == nil {
+			fmt.Println("check: not supported for this workload")
+		} else if err := app.Check(); err != nil {
+			fatal("check failed: %v", err)
+		} else {
+			fmt.Println("check: ok")
+		}
+	}
+}
+
+func buildApp(bench string, size int) (*workloads.App, error) {
+	switch strings.ToLower(bench) {
+	case "pr", "pagerank":
+		if size == 0 {
+			size = 64 * 1024
+		}
+		return workloads.BuildPageRank(size)
+	case "hist", "histogram", "kmeans", "bfs", "reduce", "reduction":
+		alias := map[string]string{
+			"histogram": "HIST", "reduction": "REDUCE", "reduce": "REDUCE",
+		}
+		name := bench
+		if a, ok := alias[strings.ToLower(bench)]; ok {
+			name = a
+		}
+		spec, err := workloads.FindExtension(name)
+		if err != nil {
+			return nil, err
+		}
+		if size == 0 {
+			size = spec.Sizes[0]
+		}
+		return spec.Build(size)
+	case "vgg16":
+		return dnn.BuildVGG(16, dnn.DefaultScale())
+	case "vgg19":
+		return dnn.BuildVGG(19, dnn.DefaultScale())
+	case "resnet18", "resnet34", "resnet50", "resnet101", "resnet152":
+		var depth int
+		fmt.Sscanf(bench, "resnet%d", &depth)
+		return dnn.BuildResNet(depth, dnn.DefaultScale())
+	}
+	spec, err := workloads.FindSpec(strings.ToUpper(bench))
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		size = spec.Sizes[0]
+	}
+	return spec.Build(size)
+}
+
+func buildRunner(mode string, cfg gpu.Config) (gpu.Runner, error) {
+	params := core.DefaultParams()
+	switch mode {
+	case "full":
+		return gpu.FullRunner{}, nil
+	case "photon":
+		return core.New(cfg, params, core.AllLevels())
+	case "bb":
+		return core.New(cfg, params, core.Levels{BB: true})
+	case "warp":
+		return core.New(cfg, params, core.Levels{Warp: true})
+	case "kernel":
+		return core.New(cfg, params, core.Levels{Kernel: true})
+	case "pka":
+		return pka.New(pka.DefaultParams()), nil
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "photon-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

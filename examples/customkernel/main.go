@@ -1,0 +1,89 @@
+// Custom kernel: author a SAXPY kernel directly against the ISA builder,
+// launch it on both Table 1 GPUs, and sample it with Photon — the workflow a
+// user follows to study their own kernel under the simulator.
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"photon/internal/core"
+	"photon/internal/harness"
+	"photon/internal/sim/gpu"
+	"photon/internal/sim/isa"
+	"photon/internal/sim/kernel"
+	"photon/internal/sim/mem"
+	"photon/internal/workloads"
+)
+
+// saxpyProgram computes y[i] = a*x[i] + y[i] for i < n.
+// Args: s8=x, s9=y, s10=n, s11=a (float bits).
+func saxpyProgram() *isa.Program {
+	b := isa.NewBuilder("saxpy")
+	b.I(isa.OpSLShl, isa.S(4), isa.S(2), isa.Imm(6)) // warpID*64
+	b.I(isa.OpVAdd, isa.V(1), isa.V(0), isa.S(4))    // tid
+	b.I(isa.OpVCmpLt, isa.Operand{}, isa.V(1), isa.S(10))
+	b.I(isa.OpSAndSaveExec, isa.Mask(0))
+	b.Br(isa.OpCBranchExecZ, "done")
+	b.I(isa.OpVLShl, isa.V(2), isa.V(1), isa.Imm(2))
+	b.I(isa.OpVAdd, isa.V(3), isa.V(2), isa.S(8))
+	b.Load(isa.OpVLoad, isa.V(4), isa.V(3), 0) // x[i]
+	b.I(isa.OpVAdd, isa.V(5), isa.V(2), isa.S(9))
+	b.Load(isa.OpVLoad, isa.V(6), isa.V(5), 0) // y[i]
+	b.Waitcnt(0)
+	b.I(isa.OpVFFma, isa.V(7), isa.V(4), isa.S(11), isa.V(6))
+	b.Store(isa.OpVStore, isa.V(5), isa.V(7), 0)
+	b.Label("done")
+	b.I(isa.OpSSetExec, isa.Operand{}, isa.Mask(0))
+	b.End()
+	return b.MustBuild()
+}
+
+func main() {
+	const (
+		warps = 32768
+		a     = float32(2.5)
+	)
+	n := warps * kernel.WavefrontSize
+	prog := saxpyProgram()
+	fmt.Println(prog.Disassemble())
+
+	for _, cfg := range []gpu.Config{gpu.R9Nano(), gpu.MI100()} {
+		m := mem.NewFlat()
+		x := m.Alloc(uint64(4 * n))
+		y := m.Alloc(uint64(4 * n))
+		for i := 0; i < n; i++ {
+			m.WriteF32(x+uint64(4*i), float32(i))
+			m.WriteF32(y+uint64(4*i), 1)
+		}
+		launch := &kernel.Launch{
+			Name:          "saxpy",
+			Program:       prog,
+			Memory:        m,
+			NumWorkgroups: warps,
+			WarpsPerGroup: 1,
+			Args: []uint32{uint32(x), uint32(y), uint32(n),
+				math.Float32bits(a)},
+		}
+		app := &workloads.App{Name: "saxpy", Mem: m, Launches: []*kernel.Launch{launch}}
+
+		ph := core.MustNew(cfg, core.DefaultParams(), core.AllLevels())
+		res, err := harness.RunApp(cfg, app, ph)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s mode=%-14s kernel=%9d cycles  wall=%v\n",
+			cfg.Name, res.PerKernel[0].Mode, res.KernelTime, res.Wall.Round(1e6))
+
+		// The detailed portion computed real values; spot-check one that the
+		// detailed phase certainly covered (workgroup 0).
+		got := m.ReadF32(y)
+		if got != a*0+1 {
+			log.Fatalf("y[0] = %v, want %v", got, a*0+1)
+		}
+	}
+	fmt.Println("spot check: ok")
+}

@@ -1,0 +1,60 @@
+// Quickstart: simulate the ReLU kernel on the R9 Nano in full detailed mode
+// and under Photon, and compare kernel time (accuracy) and host wall time
+// (speedup). ReLU at this size engages warp-sampling within a second.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"photon/internal/core"
+	"photon/internal/harness"
+	"photon/internal/sim/gpu"
+	"photon/internal/stats"
+	"photon/internal/workloads"
+)
+
+func main() {
+	const warps = 65536 // ReLU problem size
+	cfg := gpu.R9Nano()
+
+	fmt.Printf("ReLU, %d warps, on %s (%d CUs)\n\n",
+		warps, cfg.Name, cfg.Compute.NumCUs)
+
+	run := func(runner gpu.Runner) harness.AppResult {
+		app, err := workloads.BuildReLU(warps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := harness.RunApp(cfg, app, runner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s kernel time %10d cycles   insts %12d   wall %8v   mode %s\n",
+			runner.Name(), res.KernelTime, res.Insts, res.Wall.Round(1e6), res.PerKernel[0].Mode)
+		return res
+	}
+
+	full := run(gpu.FullRunner{})
+	photon := run(core.MustNew(cfg, core.DefaultParams(), core.AllLevels()))
+
+	fmt.Printf("\nsampling error: %.2f%%   wall-time speedup: %.2fx\n",
+		stats.AbsErrorPct(float64(full.KernelTime), float64(photon.KernelTime)),
+		stats.Speedup(full.Wall, photon.Wall))
+
+	// The simulator is execution-driven; verify the full run's functional
+	// result against the host reference.
+	app, err := workloads.BuildReLU(warps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := harness.RunApp(cfg, app, gpu.FullRunner{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Check(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("functional check of the detailed run: ok")
+}

@@ -1,0 +1,207 @@
+package bbv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"photon/internal/sim/isa"
+)
+
+func twoBlockProgram(name string) *isa.Program {
+	b := isa.NewBuilder(name)
+	b.I(isa.OpSMov, isa.S(4), isa.Imm(0))
+	b.Label("top")
+	b.I(isa.OpSAdd, isa.S(4), isa.S(4), isa.Imm(1))
+	b.I(isa.OpSCmpLt, isa.Operand{}, isa.S(4), isa.Imm(int32(10)))
+	b.Br(isa.OpCBranchSCC1, "top")
+	b.End()
+	return b.MustBuild()
+}
+
+func TestFromCountsNormalized(t *testing.T) {
+	p := twoBlockProgram("a")
+	counts := make([]uint32, p.NumBlocks())
+	counts[0] = 1
+	counts[1] = 10
+	counts[2] = 1
+	v := FromCounts(p, counts)
+	sum := 0.0
+	for _, x := range v {
+		if x < 0 {
+			t.Fatal("negative BBV entry")
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("BBV sums to %v, want 1", sum)
+	}
+}
+
+func TestFromCountsEmptyWarp(t *testing.T) {
+	p := twoBlockProgram("a")
+	v := FromCounts(p, make([]uint32, p.NumBlocks()))
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty counts produced nonzero BBV")
+		}
+	}
+}
+
+func TestTypeIDDistinguishesTripCounts(t *testing.T) {
+	p := twoBlockProgram("a")
+	c1 := []uint32{1, 10, 1}
+	c2 := []uint32{1, 11, 1}
+	if TypeID(p, c1) == TypeID(p, c2) {
+		t.Fatal("different trip counts share a type ID")
+	}
+	if TypeID(p, c1) != TypeID(p, []uint32{1, 10, 1}) {
+		t.Fatal("identical counts differ in type ID")
+	}
+}
+
+func TestProgramsDoNotCollide(t *testing.T) {
+	// Same block structure, different instructions -> different
+	// fingerprints -> different type IDs and (almost surely) different
+	// projection slots.
+	p1 := twoBlockProgram("a")
+	b := isa.NewBuilder("b")
+	b.I(isa.OpSMov, isa.S(4), isa.Imm(0))
+	b.Label("top")
+	b.I(isa.OpSMul, isa.S(4), isa.S(4), isa.Imm(3)) // different op
+	b.I(isa.OpSCmpLt, isa.Operand{}, isa.S(4), isa.Imm(int32(10)))
+	b.Br(isa.OpCBranchSCC1, "top")
+	b.End()
+	p2 := b.MustBuild()
+	if p1.Fingerprint == p2.Fingerprint {
+		t.Fatal("different programs share a fingerprint")
+	}
+	counts := []uint32{1, 10, 1}
+	if TypeID(p1, counts) == TypeID(p2, counts) {
+		t.Fatal("type IDs collide across programs")
+	}
+}
+
+func sampleTypes() []TypeProfile {
+	var v1, v2 Vector
+	v1[0] = 1
+	v2[3] = 1
+	return []TypeProfile{
+		{ID: 1, Count: 90, Insts: 100, Vector: v1},
+		{ID: 2, Count: 10, Insts: 50, Vector: v2},
+	}
+}
+
+func TestBuildGPUWeightsAndOrder(t *testing.T) {
+	g := BuildGPU(sampleTypes())
+	if g.Types != 2 {
+		t.Fatalf("Types = %d", g.Types)
+	}
+	if math.Abs(g.DominantShare-0.9) > 1e-12 {
+		t.Fatalf("DominantShare = %v, want 0.9", g.DominantShare)
+	}
+	// First Dim entries belong to the dominant type with weight 0.9.
+	if math.Abs(g.Vec[0]-0.9) > 1e-12 {
+		t.Fatalf("dominant weighted entry = %v, want 0.9", g.Vec[0])
+	}
+	if math.Abs(g.Vec[Dim+3]-0.1) > 1e-12 {
+		t.Fatalf("secondary weighted entry = %v, want 0.1", g.Vec[Dim+3])
+	}
+	total := 0.0
+	for _, x := range g.Vec {
+		total += x
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("GPU BBV total weight %v, want 1", total)
+	}
+}
+
+func TestBuildGPUEmpty(t *testing.T) {
+	g := BuildGPU(nil)
+	if g.Types != 0 || g.DominantShare != 0 || len(g.Vec) != 0 {
+		t.Fatalf("empty GPU BBV not zero: %+v", g)
+	}
+}
+
+func TestBuildGPUDeterministicTieBreak(t *testing.T) {
+	types := []TypeProfile{{ID: 9, Count: 5}, {ID: 3, Count: 5}}
+	g1 := BuildGPU(types)
+	g2 := BuildGPU([]TypeProfile{types[1], types[0]})
+	if Distance(g1, g2) != 0 {
+		t.Fatal("tie-broken GPU BBVs differ across input orders")
+	}
+}
+
+func TestBuildGPUCapsTypes(t *testing.T) {
+	var types []TypeProfile
+	for i := 0; i < MaxTypes+10; i++ {
+		var v Vector
+		v[i%Dim] = 1
+		types = append(types, TypeProfile{ID: uint64(i), Count: 1, Vector: v})
+	}
+	g := BuildGPU(types)
+	if len(g.Vec) != MaxTypes*Dim {
+		t.Fatalf("vec len = %d, want %d", len(g.Vec), MaxTypes*Dim)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	g1 := BuildGPU(sampleTypes())
+	if Distance(g1, g1) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	other := BuildGPU([]TypeProfile{{ID: 7, Count: 1, Vector: Vector{5: 1}}})
+	d := Distance(g1, other)
+	if d <= 0 || d > 2 {
+		t.Fatalf("distance %v out of (0,2]", d)
+	}
+	if Distance(g1, other) != Distance(other, g1) {
+		t.Fatal("distance not symmetric")
+	}
+}
+
+func TestSimilarKernelsCloserThanDifferent(t *testing.T) {
+	// 90/10 vs 85/15 mixes of the same two types should be much closer than
+	// either is to a kernel of a disjoint type.
+	mix := func(a, b int) GPUBBV {
+		ts := sampleTypes()
+		ts[0].Count, ts[1].Count = a, b
+		return BuildGPU(ts)
+	}
+	g1, g2 := mix(90, 10), mix(85, 15)
+	foreign := BuildGPU([]TypeProfile{{ID: 42, Count: 1, Vector: Vector{7: 1}}})
+	if Distance(g1, g2) >= Distance(g1, foreign) {
+		t.Fatalf("similar kernels (%v) not closer than different kernels (%v)",
+			Distance(g1, g2), Distance(g1, foreign))
+	}
+}
+
+// Property: distance is a pseudo-metric on generated GPU BBVs (symmetry,
+// identity, triangle inequality).
+func TestPropertyDistanceTriangle(t *testing.T) {
+	gen := func(seed int64) GPUBBV {
+		var types []TypeProfile
+		s := uint64(seed)
+		next := func() uint64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return s >> 33
+		}
+		k := int(next()%4) + 1
+		for i := 0; i < k; i++ {
+			var v Vector
+			v[int(next())%Dim] = 1
+			types = append(types, TypeProfile{ID: next(), Count: int(next()%100) + 1, Vector: v})
+		}
+		return BuildGPU(types)
+	}
+	f := func(s1, s2, s3 int64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		if math.Abs(Distance(a, b)-Distance(b, a)) > 1e-12 {
+			return false
+		}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

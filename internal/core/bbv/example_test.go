@@ -1,0 +1,33 @@
+package bbv_test
+
+import (
+	"fmt"
+
+	"photon/internal/core/bbv"
+)
+
+// Kernels are characterized by GPU BBVs (paper Figure 5): per-warp-type
+// basic-block vectors, weighted by the type's share of warps and ordered by
+// weight. Similar kernels land close under the L1 distance.
+func Example() {
+	mix := func(heavy, light int) bbv.GPUBBV {
+		var loopy, straight bbv.Vector
+		loopy[3] = 1
+		straight[9] = 1
+		return bbv.BuildGPU([]bbv.TypeProfile{
+			{ID: 1, Count: heavy, Vector: loopy},
+			{ID: 2, Count: light, Vector: straight},
+		})
+	}
+	a := mix(90, 10)
+	b := mix(85, 15) // slightly different mix of the same warp types
+	var other bbv.Vector
+	other[12] = 1
+	c := bbv.BuildGPU([]bbv.TypeProfile{{ID: 3, Count: 100, Vector: other}})
+
+	fmt.Printf("similar kernels:   %.2f\n", bbv.Distance(a, b))
+	fmt.Printf("different kernels: %.2f\n", bbv.Distance(a, c))
+	// Output:
+	// similar kernels:   0.10
+	// different kernels: 2.00
+}

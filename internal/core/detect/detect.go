@@ -1,0 +1,206 @@
+// Package detect implements Photon's online stability detector: a rolling
+// least-squares fit over the last n (issue time, retired time) pairs of a
+// basic-block type or of warps (Section 4.1, Equation 1). A unit's timing is
+// declared stable when the fitted slope a satisfies |1-a| < delta AND the
+// mean execution duration of the most recent n samples differs from the
+// previous n by less than delta — the paper's guard against locking onto a
+// false "local optimum" plateau.
+package detect
+
+import "math"
+
+// Detector is a rolling least-squares slope detector over the last 2n
+// samples: the most recent n drive the regression, the n before feed the
+// local-optimum guard. Add is O(1); the query methods recompute in O(n) and
+// cache per sample count, so callers that poll every few samples pay an
+// amortized constant.
+type Detector struct {
+	n     int
+	delta float64
+
+	xs, ys []float64 // ring of the last 2n samples
+	head   int
+	count  int
+
+	cachedAt   int
+	slope      float64
+	slopeOK    bool
+	meanRecent float64
+	meanPrev   float64
+
+	totalDur  float64 // duration sum over ALL samples ever added
+	warmupDur float64 // duration sum over the first n samples (the warm-up)
+}
+
+// New creates a detector with window n (per half) and threshold delta.
+func New(n int, delta float64) *Detector {
+	if n <= 1 || delta <= 0 {
+		panic("detect: window must exceed 1 and delta must be positive")
+	}
+	return &Detector{
+		n:     n,
+		delta: delta,
+		xs:    make([]float64, 2*n),
+		ys:    make([]float64, 2*n),
+	}
+}
+
+// Window returns the per-half window size n.
+func (d *Detector) Window() int { return d.n }
+
+// Count returns how many samples have been added.
+func (d *Detector) Count() int { return d.count }
+
+// Delta returns the stability threshold.
+func (d *Detector) Delta() float64 { return d.delta }
+
+// Add records one (issue, retire) observation.
+func (d *Detector) Add(issue, retire float64) {
+	d.xs[d.head] = issue
+	d.ys[d.head] = retire
+	d.head = (d.head + 1) % len(d.xs)
+	d.count++
+	d.totalDur += retire - issue
+	if d.count <= d.n {
+		d.warmupDur += retire - issue
+	}
+}
+
+// at returns the sample i steps back (i=1 is the newest).
+func (d *Detector) at(i int) (x, y float64) {
+	idx := (d.head - i + 2*len(d.xs)) % len(d.xs)
+	return d.xs[idx], d.ys[idx]
+}
+
+// slopeGroups is how many consecutive-sample group means feed the
+// least-squares fit. Regressing on group means instead of raw samples keeps
+// Equation 1's form but removes the errors-in-variables attenuation that
+// appears when many units retire in clumps (lockstep kernels like FIR):
+// within a clump the retire times are equal while issue times vary, which
+// biases a raw-sample slope toward zero even for perfectly stationary
+// durations. Group means average that noise away by ~sqrt(group size) while
+// any real duration trend across the window survives intact.
+const slopeGroups = 8
+
+// refresh recomputes the regression (over group means of the stored
+// samples, rebased for numerical conditioning) and the half-window duration
+// means.
+func (d *Detector) refresh() {
+	if d.cachedAt == d.count {
+		return
+	}
+	d.cachedAt = d.count
+	m := d.count
+	if m > 2*d.n {
+		m = 2 * d.n
+	}
+	recent := d.count
+	if recent > d.n {
+		recent = d.n
+	}
+	d.slopeOK = false
+	d.meanRecent, d.meanPrev = 0, 0
+	if m == 0 {
+		return
+	}
+	var dur float64
+	for i := recent; i >= 1; i-- {
+		xr, yr := d.at(i)
+		dur += yr - xr
+	}
+	d.meanRecent = dur / float64(recent)
+	if d.count >= 2*d.n {
+		var prev float64
+		for i := d.n + 1; i <= 2*d.n; i++ {
+			xr, yr := d.at(i)
+			prev += yr - xr
+		}
+		d.meanPrev = prev / float64(d.n)
+	}
+
+	// Grouped least squares over the last m samples.
+	if m < d.n || m < slopeGroups {
+		return
+	}
+	x0, _ := d.at(m)
+	var gx, gy [slopeGroups]float64
+	per := m / slopeGroups
+	for g := 0; g < slopeGroups; g++ {
+		// Group 0 holds the oldest samples.
+		lo := m - g*per
+		hi := lo - per
+		if g == slopeGroups-1 {
+			hi = 0
+		}
+		cnt := 0.0
+		for i := lo; i > hi; i-- {
+			xr, yr := d.at(i)
+			gx[g] += xr - x0
+			gy[g] += yr - x0
+			cnt++
+		}
+		gx[g] /= cnt
+		gy[g] /= cnt
+	}
+	var sx, sy, sxy, sxx float64
+	for g := 0; g < slopeGroups; g++ {
+		sx += gx[g]
+		sy += gy[g]
+		sxy += gx[g] * gy[g]
+		sxx += gx[g] * gx[g]
+	}
+	den := sxx - sx*sx/slopeGroups
+	if den != 0 {
+		d.slope = (sxy - sx*sy/slopeGroups) / den
+		d.slopeOK = true
+	}
+}
+
+// Slope returns the least-squares slope of Equation 1, computed over
+// slopeGroups group means of the stored samples (up to the last 2n). ok is
+// false until at least n samples exist or when x is degenerate.
+func (d *Detector) Slope() (a float64, ok bool) {
+	d.refresh()
+	return d.slope, d.slopeOK
+}
+
+// MeanDuration returns the mean retire-issue duration over the last
+// min(count, n) samples — the value warp-sampling predicts with ("the
+// average time of the last n warps").
+func (d *Detector) MeanDuration() float64 {
+	d.refresh()
+	return d.meanRecent
+}
+
+// GlobalMeanDuration returns the mean duration over every sample after the
+// first window (the warm-up: cold caches and the dispatch burst), falling
+// back to the all-samples mean when fewer than 2n samples exist.
+// Basic-block-sampling predicts with this: workloads whose block timing
+// oscillates in dispatch waves much longer than the window would otherwise
+// be predicted from whatever phase of the wave the switch landed on.
+func (d *Detector) GlobalMeanDuration() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	if d.count >= 2*d.n {
+		return (d.totalDur - d.warmupDur) / float64(d.count-d.n)
+	}
+	return d.totalDur / float64(d.count)
+}
+
+// Stable reports whether the unit satisfies the full stability criterion:
+// 2n samples, |1-a| < delta, and a recent-vs-previous mean-duration relative
+// difference below delta.
+func (d *Detector) Stable() bool {
+	if d.count < 2*d.n {
+		return false
+	}
+	d.refresh()
+	if !d.slopeOK || math.Abs(1-d.slope) >= d.delta {
+		return false
+	}
+	if d.meanPrev == 0 {
+		return d.meanRecent == 0
+	}
+	return math.Abs(d.meanRecent-d.meanPrev)/d.meanPrev < d.delta
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"photon/internal/sim/isa"
+	"photon/internal/sim/timing"
+	"photon/internal/stats"
+)
+
+// Rare basic blocks (Figure 9): blocks that fire too rarely during the
+// detailed phase to accumulate a stable least-squares window. Photon
+// predicts their runtime with an interval model that walks the block's
+// instructions using the per-class latency table collected online during
+// detailed simulation; classes never observed fall back to the machine's
+// configured latencies ("we set their initial value according to the
+// latency of caches and ALUs").
+
+// LatencyModel provides the per-class latency estimate for the interval
+// model.
+type LatencyModel struct {
+	table    *stats.LatencyTable
+	fallback [isa.FUClassCount]float64
+}
+
+// NewLatencyModel builds a model over an online latency table with
+// fallbacks derived from the compute configuration plus a default memory
+// round-trip estimate.
+func NewLatencyModel(table *stats.LatencyTable, cfg timing.Config, defaultMemLatency float64) *LatencyModel {
+	m := &LatencyModel{table: table}
+	for c := isa.FUClass(0); c < isa.FUClassCount; c++ {
+		m.fallback[c] = float64(cfg.ExecLatency[c])
+	}
+	m.fallback[isa.FUVectorMem] = defaultMemLatency
+	m.fallback[isa.FUScalarMem] = defaultMemLatency
+	return m
+}
+
+// Latency returns the modeled latency for a class.
+func (m *LatencyModel) Latency(c isa.FUClass) float64 {
+	if m.table != nil {
+		if v, ok := m.table.Mean(c); ok {
+			return v
+		}
+	}
+	return m.fallback[c]
+}
+
+// EstimateBlockTime predicts one execution of a basic block with the
+// interval model, mirroring the in-order pipeline: ALU-class instructions
+// advance time by their latency; vector memory issues asynchronously and
+// completes at issue + memory latency; s_waitcnt joins outstanding memory.
+func EstimateBlockTime(prog *isa.Program, blockIdx int, m *LatencyModel, cfg timing.Config) float64 {
+	blk := prog.Blocks[blockIdx]
+	t := 0.0
+	memDone := 0.0
+	for pc := blk.StartPC; pc < blk.StartPC+blk.Len; pc++ {
+		in := &prog.Insts[pc]
+		class := in.Op.Class()
+		switch {
+		case in.Op == isa.OpSWaitcnt:
+			if memDone > t {
+				t = memDone
+			}
+			t++
+		case class == isa.FUVectorMem:
+			issue := float64(cfg.VectorMemIssueCycles)
+			done := t + m.Latency(class)
+			if done > memDone {
+				memDone = done
+			}
+			t += issue
+		case class == isa.FUScalarMem:
+			t += m.Latency(class) // blocking scalar load
+		default:
+			t += m.Latency(class)
+		}
+	}
+	return t
+}

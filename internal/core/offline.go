@@ -1,0 +1,200 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+
+	"photon/internal/core/bbv"
+	"photon/internal/sim/kernel"
+)
+
+// Offline Photon (paper Section 6.3, "Online/Offline Tradeoff"): everything
+// the online analysis produces — warp types, BBVs, block distributions — is
+// micro-architecture agnostic, so it can be saved once and reused across
+// simulations of different hardware configurations. AnalysisStore is that
+// cache; attach one to a Photon runner with SetStore and persist it with
+// Save/Load.
+
+// storedType is the serializable form of a warp-type profile.
+type storedType struct {
+	ID     uint64           `json:"id"`
+	Count  int              `json:"count"`
+	Insts  uint64           `json:"insts"`
+	Vector [bbv.Dim]float64 `json:"vector"`
+}
+
+// storedProfile is the serializable form of a Profile.
+type storedProfile struct {
+	SampledWarps  int          `json:"sampled_warps"`
+	SampledInsts  uint64       `json:"sampled_insts"`
+	Types         []storedType `json:"types"`
+	BlockInsts    []uint64     `json:"block_insts"`
+	MeanWarpInsts float64      `json:"mean_warp_insts"`
+}
+
+// AnalysisStore caches online-analysis profiles keyed by the kernel's
+// identity (program fingerprint, grid shape and arguments).
+type AnalysisStore struct {
+	profiles map[uint64]storedProfile
+	hits     int
+	misses   int
+}
+
+// NewAnalysisStore returns an empty store.
+func NewAnalysisStore() *AnalysisStore {
+	return &AnalysisStore{profiles: make(map[uint64]storedProfile)}
+}
+
+// Hits and Misses report cache effectiveness.
+func (s *AnalysisStore) Hits() int   { return s.hits }
+func (s *AnalysisStore) Misses() int { return s.misses }
+
+// Len returns the number of cached profiles.
+func (s *AnalysisStore) Len() int { return len(s.profiles) }
+
+// launchKey identifies a kernel launch for caching purposes. Two launches
+// with the same program, grid and arguments perform the same computation
+// over the same inputs in this repository's deterministic workloads.
+func launchKey(l *kernel.Launch) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(l.Program.Fingerprint)
+	put(uint64(l.NumWorkgroups))
+	put(uint64(l.WarpsPerGroup))
+	for _, a := range l.Args {
+		put(uint64(a))
+	}
+	return h.Sum64()
+}
+
+func profileToStored(p *Profile) storedProfile {
+	sp := storedProfile{
+		SampledWarps:  p.SampledWarps,
+		SampledInsts:  p.SampledInsts,
+		BlockInsts:    p.BlockInsts,
+		MeanWarpInsts: p.MeanWarpInsts,
+	}
+	for _, t := range p.Types {
+		sp.Types = append(sp.Types, storedType{ID: t.ID, Count: t.Count, Insts: t.Insts, Vector: t.Vector})
+	}
+	sort.Slice(sp.Types, func(i, j int) bool { return sp.Types[i].ID < sp.Types[j].ID })
+	return sp
+}
+
+func storedToProfile(sp storedProfile) *Profile {
+	p := &Profile{
+		SampledWarps:  sp.SampledWarps,
+		SampledInsts:  sp.SampledInsts,
+		BlockInsts:    sp.BlockInsts,
+		MeanWarpInsts: sp.MeanWarpInsts,
+		Types:         make(map[uint64]*bbv.TypeProfile, len(sp.Types)),
+	}
+	types := make([]bbv.TypeProfile, 0, len(sp.Types))
+	for _, t := range sp.Types {
+		tp := &bbv.TypeProfile{ID: t.ID, Count: t.Count, Insts: t.Insts, Vector: t.Vector}
+		p.Types[t.ID] = tp
+		types = append(types, *tp)
+	}
+	p.GPU = bbv.BuildGPU(types)
+	return p
+}
+
+// Get returns the cached profile for the launch, if present.
+func (s *AnalysisStore) Get(l *kernel.Launch) (*Profile, bool) {
+	sp, ok := s.profiles[launchKey(l)]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	return storedToProfile(sp), true
+}
+
+// Put caches the launch's profile.
+func (s *AnalysisStore) Put(l *kernel.Launch, p *Profile) {
+	s.profiles[launchKey(l)] = profileToStored(p)
+}
+
+// Encode serializes the store as JSON.
+func (s *AnalysisStore) Encode(w io.Writer) error {
+	type entry struct {
+		Key     uint64        `json:"key"`
+		Profile storedProfile `json:"profile"`
+	}
+	entries := make([]entry, 0, len(s.profiles))
+	for k, v := range s.profiles {
+		entries = append(entries, entry{Key: k, Profile: v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(entries)
+}
+
+// Decode loads a store serialized by Encode, merging into s.
+func (s *AnalysisStore) Decode(r io.Reader) error {
+	type entry struct {
+		Key     uint64        `json:"key"`
+		Profile storedProfile `json:"profile"`
+	}
+	var entries []entry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("core: loading analysis store: %w", err)
+	}
+	for _, e := range entries {
+		s.profiles[e.Key] = e.Profile
+	}
+	return nil
+}
+
+// SaveFile writes the store to path.
+func (s *AnalysisStore) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Encode(f)
+}
+
+// LoadFile merges the store at path into s.
+func (s *AnalysisStore) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Decode(f)
+}
+
+// SetStore attaches an analysis cache to the runner: profiles are looked up
+// before running the online analysis and recorded after, turning Photon into
+// its offline variant when the store was pre-populated by an earlier run.
+func (p *Photon) SetStore(s *AnalysisStore) { p.store = s }
+
+// analyze runs the online analysis through the store, when one is attached.
+func (p *Photon) analyze(l *kernel.Launch) (*Profile, error) {
+	if p.store != nil {
+		if prof, ok := p.store.Get(l); ok {
+			return prof, nil
+		}
+	}
+	prof, err := AnalyzeOnline(l, p.params.SampleFraction)
+	if err != nil {
+		return nil, err
+	}
+	if p.store != nil {
+		p.store.Put(l, prof)
+	}
+	return prof, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import "container/heap"
+
+// MachineShape is what the scheduler-only model needs to know about the GPU:
+// how many workgroups can be resident at once. Warp-sampling "only simulates
+// the scheduler" (Section 4.2); this greedy list-scheduler is that model.
+type MachineShape struct {
+	NumCUs        int
+	WarpSlotsPer  int // warp slots per CU
+	WarpsPerGroup int
+}
+
+// GroupServers returns how many workgroups can be resident simultaneously.
+func (s MachineShape) GroupServers() int {
+	perCU := s.WarpSlotsPer / s.WarpsPerGroup
+	if perCU < 1 {
+		perCU = 1
+	}
+	return perCU * s.NumCUs
+}
+
+type serverHeap []float64
+
+func (h serverHeap) Len() int           { return len(h) }
+func (h serverHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h serverHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *serverHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *serverHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// PredictMakespan list-schedules the remaining workgroups (given their
+// predicted durations, in dispatch order) onto the machine's group slots and
+// returns the completion time of the last one. Slots become available along
+// a linear ramp from rampStart (when the dispatch gate fired) to rampEnd
+// (when the detailed model finished draining the in-flight workgroups): in a
+// real run the skipped workgroups would have backfilled slots as the drain
+// released them, and the ramp models exactly that.
+func PredictMakespan(rampStart, rampEnd float64, groupDurations []float64, shape MachineShape) float64 {
+	if len(groupDurations) == 0 {
+		return rampEnd
+	}
+	if rampEnd < rampStart {
+		rampEnd = rampStart
+	}
+	servers := shape.GroupServers()
+	h := make(serverHeap, servers)
+	for i := range h {
+		h[i] = rampStart + (rampEnd-rampStart)*float64(i)/float64(servers)
+	}
+	heap.Init(&h)
+	end := rampEnd
+	for _, d := range groupDurations {
+		t := heap.Pop(&h).(float64)
+		done := t + d
+		if done > end {
+			end = done
+		}
+		heap.Push(&h, done)
+	}
+	return end
+}
+
+// UniformMakespan is PredictMakespan for count groups of equal duration
+// (used by warp-sampling, where every remaining group gets the same
+// predicted duration).
+func UniformMakespan(rampStart, rampEnd, duration float64, count int, shape MachineShape) float64 {
+	if count <= 0 {
+		return rampEnd
+	}
+	durations := make([]float64, count)
+	for i := range durations {
+		durations[i] = duration
+	}
+	return PredictMakespan(rampStart, rampEnd, durations, shape)
+}

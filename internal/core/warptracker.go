@@ -1,0 +1,48 @@
+package core
+
+import (
+	"photon/internal/core/detect"
+	"photon/internal/sim/emu"
+	"photon/internal/sim/event"
+	"photon/internal/sim/timing"
+)
+
+// warpTracker implements warp-sampling's detection phase (Figure 10): it is
+// armed only when the online analysis found a dominant warp type (share >=
+// DominantWarpShare), and fires when the least-squares fit over the last
+// WarpWindow warps' (issue, retired) pairs is stable. Once switched, Photon
+// simulates only the scheduler: every remaining warp is predicted to take
+// the mean duration of the last window.
+type warpTracker struct {
+	timing.NopObserver
+	det    *detect.Detector
+	params Params
+	// minRetires delays the switch until one machine generation retired;
+	// see bbTracker.minWarpRetires.
+	minRetires int
+	retires    int
+	triggered  bool
+}
+
+func newWarpTracker(params Params, minRetires int) *warpTracker {
+	return &warpTracker{
+		det:        detect.New(params.WarpWindow, params.Delta),
+		params:     params,
+		minRetires: minRetires,
+	}
+}
+
+// OnWarpRetired implements timing.Observer.
+func (t *warpTracker) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
+	if t.triggered {
+		return
+	}
+	t.det.Add(float64(issue), float64(now))
+	t.retires++
+	if t.retires >= t.minRetires && t.retires%t.params.CheckInterval == 0 && t.det.Stable() {
+		t.triggered = true
+	}
+}
+
+// meanWarpTime is the predicted duration of each remaining warp.
+func (t *warpTracker) meanWarpTime() float64 { return t.det.MeanDuration() }

@@ -1,0 +1,424 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"photon/internal/core"
+	"photon/internal/sim/gpu"
+	"photon/internal/sim/isa"
+	"photon/internal/workloads"
+	"photon/internal/workloads/dnn"
+)
+
+// Options scales the experiment sweeps. Quick mode trims each benchmark to
+// its smallest figure size so a full regeneration finishes in minutes.
+type Options struct {
+	Quick bool
+	// PRNodes sets the PageRank size for Figure 16 (PR-X).
+	PRNodes int
+	// DNNScale is the VGG/ResNet reduction (see dnn.DefaultScale).
+	DNNScale dnn.Scale
+	// Params are Photon's knobs.
+	Params core.Params
+	// JSON, when non-nil, additionally receives every comparison as a
+	// JSON-lines Record (the artifact's structured output format).
+	JSON *JSONSink
+	// experiment labels JSON records; set internally per figure.
+	experiment string
+}
+
+// DefaultOptions returns the full-experiment configuration.
+func DefaultOptions() Options {
+	return Options{
+		PRNodes:  64 * 1024,
+		DNNScale: dnn.DefaultScale(),
+		Params:   core.DefaultParams(),
+	}
+}
+
+func (o Options) sizes(spec workloads.Spec) []int {
+	if o.Quick {
+		// Quick mode keeps one mid-grid size per benchmark: large enough
+		// that sampling has queued work to skip, small enough to be fast.
+		return spec.Sizes[len(spec.Sizes)/2 : len(spec.Sizes)/2+1]
+	}
+	return spec.Sizes
+}
+
+// runComparisons runs each factory against a fresh full baseline for one
+// (benchmark, size) and streams rows.
+func runComparisons(w io.Writer, o Options, cfg gpu.Config, bench string, size int,
+	build func() (*workloads.App, error), factories []RunnerFactory) error {
+	appFull, err := build()
+	if err != nil {
+		return err
+	}
+	full, err := RunApp(cfg, appFull, gpu.FullRunner{})
+	if err != nil {
+		return err
+	}
+	emit := func(c Comparison) error {
+		PrintRow(w, c)
+		return o.JSON.Emit(ToRecord(o.experiment, c, true))
+	}
+	if err := emit(Comparison{Bench: bench, Size: size, Runner: "full", Full: full, Sampled: full}); err != nil {
+		return err
+	}
+	for _, f := range factories {
+		app, err := build()
+		if err != nil {
+			return err
+		}
+		res, err := RunApp(cfg, app, f.New(cfg))
+		if err != nil {
+			return err
+		}
+		if err := emit(Comparison{Bench: bench, Size: size, Runner: f.Name, Full: full, Sampled: res}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig13 regenerates Figure 13: kernel time and wall time for full detailed
+// MGPUSim, PKA and Photon on the R9 Nano across the single-kernel
+// benchmarks and problem sizes.
+func Fig13(w io.Writer, o Options) error {
+	o.experiment = "fig13"
+	fmt.Fprintln(w, "# Figure 13: R9 Nano — Full vs PKA vs Photon (single-kernel benchmarks)")
+	PrintHeader(w)
+	cfg := gpu.R9Nano()
+	factories := []RunnerFactory{
+		PKAFactory(),
+		PhotonFactory("photon", o.Params, core.AllLevels()),
+	}
+	for _, spec := range workloads.Table2() {
+		for _, size := range o.sizes(spec) {
+			build := func() (*workloads.App, error) { return spec.Build(size) }
+			if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig14 regenerates Figure 14: Full vs Photon on the MI100 configuration.
+func Fig14(w io.Writer, o Options) error {
+	o.experiment = "fig14"
+	fmt.Fprintln(w, "# Figure 14: MI100 — Full vs Photon (micro-architecture independence)")
+	PrintHeader(w)
+	cfg := gpu.MI100()
+	factories := []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())}
+	for _, spec := range workloads.Table2() {
+		for _, size := range o.sizes(spec) {
+			build := func() (*workloads.App, error) { return spec.Build(size) }
+			if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig15 regenerates Figure 15: the effect of each sampling level —
+// BB-sampling only, warp-sampling only, and full Photon.
+func Fig15(w io.Writer, o Options) error {
+	o.experiment = "fig15"
+	fmt.Fprintln(w, "# Figure 15: sampling levels — BB-only, warp-only, Photon (R9 Nano)")
+	PrintHeader(w)
+	cfg := gpu.R9Nano()
+	factories := []RunnerFactory{
+		PhotonFactory("bb-sampling", o.Params, core.Levels{BB: true}),
+		PhotonFactory("warp-sampling", o.Params, core.Levels{Warp: true}),
+		PhotonFactory("photon", o.Params, core.AllLevels()),
+	}
+	for _, spec := range workloads.Table2() {
+		for _, size := range o.sizes(spec) {
+			build := func() (*workloads.App, error) { return spec.Build(size) }
+			if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// realWorldBuilds lists the Figure 16 applications.
+func realWorldBuilds(o Options) []struct {
+	Name  string
+	Build func() (*workloads.App, error)
+} {
+	apps := []struct {
+		Name  string
+		Build func() (*workloads.App, error)
+	}{
+		{fmt.Sprintf("PR-%dK", o.PRNodes/1024), func() (*workloads.App, error) { return workloads.BuildPageRank(o.PRNodes) }},
+		{"VGG-16", func() (*workloads.App, error) { return dnn.BuildVGG(16, o.DNNScale) }},
+		{"VGG-19", func() (*workloads.App, error) { return dnn.BuildVGG(19, o.DNNScale) }},
+		{"ResNet-18", func() (*workloads.App, error) { return dnn.BuildResNet(18, o.DNNScale) }},
+		{"ResNet-34", func() (*workloads.App, error) { return dnn.BuildResNet(34, o.DNNScale) }},
+		{"ResNet-50", func() (*workloads.App, error) { return dnn.BuildResNet(50, o.DNNScale) }},
+		{"ResNet-101", func() (*workloads.App, error) { return dnn.BuildResNet(101, o.DNNScale) }},
+		{"ResNet-152", func() (*workloads.App, error) { return dnn.BuildResNet(152, o.DNNScale) }},
+	}
+	if o.Quick {
+		return apps[:4]
+	}
+	return apps
+}
+
+// Fig16 regenerates Figure 16: Full vs Photon on the real-world
+// applications (PageRank, VGG, ResNet).
+func Fig16(w io.Writer, o Options) error {
+	o.experiment = "fig16"
+	fmt.Fprintln(w, "# Figure 16: real-world applications — Full vs Photon (R9 Nano)")
+	PrintHeader(w)
+	cfg := gpu.R9Nano()
+	factories := []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())}
+	for _, a := range realWorldBuilds(o) {
+		if err := runComparisons(w, o, cfg, a.Name, 0, a.Build, factories); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig17 regenerates Figure 17: per-layer error and speedup of VGG-16 under
+// kernel-sampling, kernel+warp-sampling and full Photon.
+func Fig17(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "# Figure 17: VGG-16 per-layer error and speedup by sampling level (R9 Nano)")
+	cfg := gpu.R9Nano()
+	build := func() (*workloads.App, error) { return dnn.BuildVGG(16, o.DNNScale) }
+	appFull, err := build()
+	if err != nil {
+		return err
+	}
+	full, err := RunApp(cfg, appFull, gpu.FullRunner{})
+	if err != nil {
+		return err
+	}
+	variants := []RunnerFactory{
+		PhotonFactory("kernel", o.Params, core.Levels{Kernel: true}),
+		PhotonFactory("kernel+warp", o.Params, core.Levels{Kernel: true, Warp: true}),
+		PhotonFactory("photon", o.Params, core.AllLevels()),
+	}
+	results := make([]AppResult, len(variants))
+	for i, f := range variants {
+		app, err := build()
+		if err != nil {
+			return err
+		}
+		results[i], err = RunApp(cfg, app, f.New(cfg))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "%-10s %14s", "layer", "full_cycles")
+	for _, f := range variants {
+		fmt.Fprintf(w, " %12s %6s", f.Name+"_err%", "mode")
+	}
+	fmt.Fprintln(w)
+	for k, fr := range full.PerKernel {
+		fmt.Fprintf(w, "%-10s %14d", fr.Name, fr.SimTime)
+		for i := range variants {
+			pr := results[i].PerKernel[k]
+			errPct := 100.0
+			if fr.SimTime > 0 {
+				diff := float64(pr.SimTime - fr.SimTime)
+				if diff < 0 {
+					diff = -diff
+				}
+				errPct = diff / float64(fr.SimTime) * 100
+			}
+			fmt.Fprintf(w, " %12.2f %6s", errPct, shortMode(pr.Mode))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s %14d", "TOTAL", full.KernelTime)
+	for i := range variants {
+		c := Comparison{Full: full, Sampled: results[i]}
+		fmt.Fprintf(w, " %12.2f %6s", c.ErrPct(), "-")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "whole-inference speedups:")
+	for i, f := range variants {
+		c := Comparison{Full: full, Sampled: results[i]}
+		fmt.Fprintf(w, " %s=%.2fx", f.Name, c.Speedup())
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func shortMode(m string) string {
+	switch m {
+	case "kernel-sampling":
+		return "K"
+	case "warp-sampling":
+		return "W"
+	case "bb-sampling":
+		return "BB"
+	case "full":
+		return "F"
+	default:
+		return m
+	}
+}
+
+// Table1 prints the two hardware configurations (paper Table 1).
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "# Table 1: GPU configurations")
+	for _, cfg := range []gpu.Config{gpu.R9Nano(), gpu.MI100()} {
+		m := cfg.Memory
+		fmt.Fprintf(w, "%s:\n", cfg.Name)
+		fmt.Fprintf(w, "  CU               %.1fGHz, %d per GPU (%d SIMDs x %d warp slots)\n",
+			cfg.ClockGHz, cfg.Compute.NumCUs, cfg.Compute.SIMDsPerCU, cfg.Compute.WarpSlotsPerSIMD)
+		fmt.Fprintf(w, "  L1 Vector Cache  %dKB %d-way, %d per GPU\n",
+			m.L1V.SizeBytes/1024, m.L1V.Ways, m.NumCUs)
+		fmt.Fprintf(w, "  L1 Inst Cache    %dKB %d-way, %d per GPU\n",
+			m.L1I.SizeBytes/1024, m.L1I.Ways, m.NumCUs/m.CUsPerScalarBlock)
+		fmt.Fprintf(w, "  L1 Scalar Cache  %dKB %d-way, %d per GPU\n",
+			m.L1K.SizeBytes/1024, m.L1K.Ways, m.NumCUs/m.CUsPerScalarBlock)
+		fmt.Fprintf(w, "  L2 Cache         %dKB %d-way, %d banks per GPU\n",
+			m.L2.SizeBytes/1024, m.L2.Ways, m.L2Banks)
+		fmt.Fprintf(w, "  DRAM             %dGB, %d banks\n",
+			cfg.DRAMBytes>>30, m.DRAM.Banks)
+	}
+}
+
+// Table2 prints the benchmark list (paper Table 2).
+func Table2(w io.Writer) {
+	fmt.Fprintln(w, "# Table 2: benchmarks")
+	fmt.Fprintf(w, "%-8s %-16s %-45s %s\n", "abbr", "suite", "description", "sizes (warps)")
+	for _, s := range workloads.Table2() {
+		fmt.Fprintf(w, "%-8s %-16s %-45s %v\n", s.Abbr, s.Suite, s.Description, s.Sizes)
+	}
+	fmt.Fprintf(w, "%-8s %-16s %-45s %s\n", "PR-X", "Hetero-Mark", "PageRank with X nodes", "node count")
+	fmt.Fprintf(w, "%-8s %-16s %-45s %s\n", "VGG", "-", "VGG-16 and VGG-19; batchsize=1", "fixed")
+	fmt.Fprintf(w, "%-8s %-16s %-45s %s\n", "ResNet", "-", "ResNet-18 (34, 50, 101, 152); batchsize=1", "fixed")
+}
+
+// Offline regenerates the paper's Section 6.3 online/offline tradeoff: the
+// first Photon run of VGG-16 populates the analysis store; the second run
+// reuses it, shaving the online-analysis cost off the wall time.
+func Offline(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "# Section 6.3: online vs offline Photon (VGG-16 wall time)")
+	cfg := gpu.R9Nano()
+	store := core.NewAnalysisStore()
+
+	runWith := func(label string) (AppResult, error) {
+		app, err := dnn.BuildVGG(16, o.DNNScale)
+		if err != nil {
+			return AppResult{}, err
+		}
+		ph := core.MustNew(cfg, o.Params, core.AllLevels())
+		ph.SetStore(store)
+		res, err := RunApp(cfg, app, ph)
+		if err != nil {
+			return AppResult{}, err
+		}
+		fmt.Fprintf(w, "%-18s kernel_time=%d wall=%s store: %d profiles, %d hits\n",
+			label, res.KernelTime, res.Wall.Round(time.Millisecond), store.Len(), store.Hits())
+		return res, nil
+	}
+	online, err := runWith("photon (online)")
+	if err != nil {
+		return err
+	}
+	offline, err := runWith("photon (offline)")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "offline speedup over online: %.2fx\n",
+		float64(online.Wall)/float64(offline.Wall))
+	return nil
+}
+
+// WaitcntAblation evaluates the paper's future-work basic-block variant that
+// also ends blocks at s_waitcnt, on the two workloads Observation 3 uses.
+func WaitcntAblation(w io.Writer, o Options) error {
+	o.experiment = "waitcnt"
+	fmt.Fprintln(w, "# Ablation: basic blocks split at s_waitcnt (paper future work)")
+	PrintHeader(w)
+	cfg := gpu.R9Nano()
+	for _, bench := range []struct {
+		name string
+		size int
+	}{
+		{"MM", 4096}, {"SPMV", 8192},
+	} {
+		spec, err := workloads.FindSpec(bench.name)
+		if err != nil {
+			return err
+		}
+		for _, split := range []bool{false, true} {
+			split := split
+			build := func() (*workloads.App, error) {
+				app, err := spec.Build(bench.size)
+				if err != nil {
+					return nil, err
+				}
+				if split {
+					app = app.WithBlockOptions(isa.BlockOptions{SplitAtWaitcnt: true})
+				}
+				return app, nil
+			}
+			name := "bb-sampling"
+			if split {
+				name = "bb-waitcnt"
+			}
+			f := []RunnerFactory{{Name: name, New: func(cfg gpu.Config) gpu.Runner {
+				return core.MustNew(cfg, o.Params, core.Levels{BB: true})
+			}}}
+			if err := runComparisons(w, o, cfg, bench.name, bench.size, build, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ExtensionsExperiment runs Photon on the extension workloads (histogram,
+// KMeans, BFS) — atomics-heavy programs outside the paper's Table 2 — to
+// check the methodology generalizes beyond the original suite.
+func ExtensionsExperiment(w io.Writer, o Options) error {
+	o.experiment = "extensions"
+	fmt.Fprintln(w, "# Extensions: Photon on atomics workloads (HIST, KMEANS, BFS)")
+	PrintHeader(w)
+	cfg := gpu.R9Nano()
+	factories := []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())}
+	for _, spec := range workloads.Extensions() {
+		for _, size := range o.sizes(spec) {
+			build := func() (*workloads.App, error) { return spec.Build(size) }
+			if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Baselines compares all sampled methodologies side by side — PKA, the
+// TBPoint reconstruction, and Photon — on one representative size per
+// benchmark (an extension beyond the paper's Full-vs-PKA-vs-Photon figure).
+func Baselines(w io.Writer, o Options) error {
+	o.experiment = "baselines"
+	fmt.Fprintln(w, "# Baselines: PKA vs TBPoint vs Photon (R9 Nano, one size per benchmark)")
+	PrintHeader(w)
+	cfg := gpu.R9Nano()
+	factories := []RunnerFactory{
+		PKAFactory(),
+		TBPointFactory(),
+		PhotonFactory("photon", o.Params, core.AllLevels()),
+	}
+	for _, spec := range workloads.Table2() {
+		size := spec.Sizes[len(spec.Sizes)-1]
+		build := func() (*workloads.App, error) { return spec.Build(size) }
+		if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
+			return err
+		}
+	}
+	return nil
+}

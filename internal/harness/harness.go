@@ -1,0 +1,122 @@
+// Package harness runs the paper's experiments: it sweeps benchmarks,
+// problem sizes and simulation methodologies, compares every sampled run
+// against the full-detailed baseline, and prints the rows behind each table
+// and figure of the evaluation (Section 6).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"photon/internal/baseline/pka"
+	"photon/internal/baseline/tbpoint"
+	"photon/internal/core"
+	"photon/internal/sim/event"
+	"photon/internal/sim/gpu"
+	"photon/internal/stats"
+	"photon/internal/workloads"
+)
+
+// AppResult aggregates one application run under one runner.
+type AppResult struct {
+	Runner     string
+	KernelTime event.Time // summed simulated kernel execution time
+	Insts      uint64
+	Wall       time.Duration
+	PerKernel  []KernelRow
+}
+
+// KernelRow is one kernel's outcome.
+type KernelRow struct {
+	Name    string
+	SimTime event.Time
+	Insts   uint64
+	Mode    string
+	Wall    time.Duration
+}
+
+// RunApp executes every launch of the app under the runner on a fresh GPU.
+func RunApp(cfg gpu.Config, app *workloads.App, runner gpu.Runner) (AppResult, error) {
+	g := gpu.New(cfg)
+	res := AppResult{Runner: runner.Name()}
+	for _, l := range app.Launches {
+		r, err := runner.RunKernel(g, l)
+		if err != nil {
+			return res, fmt.Errorf("harness: %s/%s under %s: %w", app.Name, l.Name, runner.Name(), err)
+		}
+		res.KernelTime += r.SimTime
+		res.Insts += r.Insts
+		res.Wall += r.Wall
+		res.PerKernel = append(res.PerKernel, KernelRow{
+			Name: l.Name, SimTime: r.SimTime, Insts: r.Insts, Mode: r.Mode, Wall: r.Wall,
+		})
+	}
+	return res, nil
+}
+
+// RunnerFactory builds a fresh runner per application (Photon and PKA carry
+// per-application kernel history).
+type RunnerFactory struct {
+	Name string
+	New  func(cfg gpu.Config) gpu.Runner
+}
+
+// FullFactory is the full-detailed baseline.
+func FullFactory() RunnerFactory {
+	return RunnerFactory{Name: "full", New: func(gpu.Config) gpu.Runner { return gpu.FullRunner{} }}
+}
+
+// PhotonFactory builds Photon with the given levels.
+func PhotonFactory(name string, params core.Params, levels core.Levels) RunnerFactory {
+	return RunnerFactory{Name: name, New: func(cfg gpu.Config) gpu.Runner {
+		return core.MustNew(cfg, params, levels)
+	}}
+}
+
+// PKAFactory builds the PKA baseline.
+func PKAFactory() RunnerFactory {
+	return RunnerFactory{Name: "pka", New: func(gpu.Config) gpu.Runner {
+		return pka.New(pka.DefaultParams())
+	}}
+}
+
+// Comparison is one (benchmark, size, runner) measurement against full mode.
+type Comparison struct {
+	Bench   string
+	Size    int
+	Runner  string
+	Full    AppResult
+	Sampled AppResult
+}
+
+// ErrPct is the paper's accuracy metric over summed kernel time.
+func (c Comparison) ErrPct() float64 {
+	return stats.AbsErrorPct(float64(c.Full.KernelTime), float64(c.Sampled.KernelTime))
+}
+
+// Speedup is the wall-time ratio.
+func (c Comparison) Speedup() float64 {
+	return stats.Speedup(c.Full.Wall, c.Sampled.Wall)
+}
+
+// PrintHeader writes the standard row header.
+func PrintHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %8s %-14s %14s %14s %8s %9s %9s\n",
+		"bench", "size", "runner", "kernel_cycles", "full_cycles", "err%", "wall_ms", "speedup")
+}
+
+// PrintRow writes one comparison row.
+func PrintRow(w io.Writer, c Comparison) {
+	fmt.Fprintf(w, "%-10s %8d %-14s %14d %14d %8.2f %9.1f %9.2f\n",
+		c.Bench, c.Size, c.Runner,
+		c.Sampled.KernelTime, c.Full.KernelTime,
+		c.ErrPct(), float64(c.Sampled.Wall.Microseconds())/1000, c.Speedup())
+}
+
+// TBPointFactory builds the TBPoint-style baseline.
+func TBPointFactory() RunnerFactory {
+	return RunnerFactory{Name: "tbpoint", New: func(gpu.Config) gpu.Runner {
+		return tbpoint.New(tbpoint.DefaultParams())
+	}}
+}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// JSON export: the paper's artifact stores run results as JSON files (one
+// per benchmark) that its plotting scripts consume; this file provides the
+// equivalent structured output as JSON-lines records.
+
+// Record is the serialized form of one (benchmark, size, runner) result.
+type Record struct {
+	Experiment string  `json:"experiment,omitempty"`
+	Bench      string  `json:"bench"`
+	Size       int     `json:"size,omitempty"`
+	Runner     string  `json:"runner"`
+	Kernels    int     `json:"kernels"`
+	SimCycles  int64   `json:"sim_cycles"`
+	FullCycles int64   `json:"full_cycles"`
+	Insts      uint64  `json:"insts"`
+	WallMS     float64 `json:"wall_ms"`
+	ErrPct     float64 `json:"err_pct"`
+	Speedup    float64 `json:"speedup"`
+
+	PerKernel []KernelRecordJSON `json:"per_kernel,omitempty"`
+}
+
+// KernelRecordJSON is one kernel's slice of a Record.
+type KernelRecordJSON struct {
+	Name      string  `json:"name"`
+	Mode      string  `json:"mode"`
+	SimCycles int64   `json:"sim_cycles"`
+	Insts     uint64  `json:"insts"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// ToRecord converts a comparison into its serializable form.
+func ToRecord(experiment string, c Comparison, perKernel bool) Record {
+	r := Record{
+		Experiment: experiment,
+		Bench:      c.Bench,
+		Size:       c.Size,
+		Runner:     c.Runner,
+		Kernels:    len(c.Sampled.PerKernel),
+		SimCycles:  int64(c.Sampled.KernelTime),
+		FullCycles: int64(c.Full.KernelTime),
+		Insts:      c.Sampled.Insts,
+		WallMS:     ms(c.Sampled.Wall),
+		ErrPct:     c.ErrPct(),
+		Speedup:    c.Speedup(),
+	}
+	if perKernel {
+		for _, k := range c.Sampled.PerKernel {
+			r.PerKernel = append(r.PerKernel, KernelRecordJSON{
+				Name: k.Name, Mode: k.Mode, SimCycles: int64(k.SimTime),
+				Insts: k.Insts, WallMS: ms(k.Wall),
+			})
+		}
+	}
+	return r
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// JSONSink streams records as JSON lines. A nil sink discards records, so
+// callers can emit unconditionally.
+type JSONSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONSink wraps a writer; pass nil to get a discarding sink.
+func NewJSONSink(w io.Writer) *JSONSink {
+	if w == nil {
+		return &JSONSink{}
+	}
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one record (no-op for a discarding sink).
+func (s *JSONSink) Emit(r Record) error {
+	if s == nil || s.enc == nil {
+		return nil
+	}
+	return s.enc.Encode(r)
+}

@@ -1,0 +1,51 @@
+package harness
+
+import "strings"
+
+// sparkline renders a series as a compact unicode bar chart, downsampled to
+// width points by bucket means — a terminal stand-in for the paper's
+// time-series figures.
+func sparkline(xs []float64, width int) string {
+	if len(xs) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(xs) {
+		width = len(xs)
+	}
+	buckets := make([]float64, width)
+	per := float64(len(xs)) / float64(width)
+	for b := 0; b < width; b++ {
+		lo := int(float64(b) * per)
+		hi := int(float64(b+1) * per)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+		buckets[b] = sum / float64(hi-lo)
+	}
+	lo, hi := buckets[0], buckets[0]
+	for _, v := range buckets {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		sb.WriteRune(ramp[idx])
+	}
+	return sb.String()
+}

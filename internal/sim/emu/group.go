@@ -1,0 +1,91 @@
+package emu
+
+import (
+	"fmt"
+
+	"photon/internal/sim/kernel"
+)
+
+// Group owns the warps of one workgroup plus their shared local data share,
+// and can run them functionally (no timing) while respecting barriers:
+// every warp runs to the next barrier (a "segment"), then all resume. This
+// is the fast-forward engine used by sampled modes and by Photon's online
+// analysis.
+type Group struct {
+	Launch *kernel.Launch
+	ID     int
+	Warps  []*Warp
+	LDS    []byte
+}
+
+// NewGroup instantiates workgroup groupID of the launch.
+func NewGroup(l *kernel.Launch, groupID int) *Group {
+	g := &Group{Launch: l, ID: groupID}
+	if l.Program.LDSBytes > 0 {
+		g.LDS = make([]byte, l.Program.LDSBytes)
+	}
+	g.Warps = make([]*Warp, l.WarpsPerGroup)
+	for i := range g.Warps {
+		g.Warps[i] = NewWarp(l, groupID*l.WarpsPerGroup+i, g.LDS)
+	}
+	return g
+}
+
+// RunFunctional executes every warp of the group to completion with no
+// timing model, alternating between warps at barrier boundaries so that LDS
+// producer/consumer patterns (tile loads before a barrier, reads after) stay
+// functionally correct.
+func (g *Group) RunFunctional() error {
+	var info StepInfo
+	for {
+		allDone := true
+		anyAtBarrier := false
+		for _, w := range g.Warps {
+			if w.Done {
+				continue
+			}
+			allDone = false
+			// Run the warp's next segment: until barrier or completion.
+			for !w.Done && !w.AtBarrier {
+				w.Step(&info)
+			}
+			if w.AtBarrier {
+				anyAtBarrier = true
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if anyAtBarrier {
+			// All live warps must be at the barrier together.
+			for _, w := range g.Warps {
+				if !w.Done && !w.AtBarrier {
+					return fmt.Errorf("emu: %s group %d: warp %d missed a barrier",
+						g.Launch.Name, g.ID, w.GlobalID)
+				}
+			}
+			for _, w := range g.Warps {
+				w.AtBarrier = false
+			}
+		}
+	}
+}
+
+// RunKernelFunctional runs every workgroup of the launch functionally and
+// returns the total dynamic instruction count. It is the reference
+// functional execution used by tests and by full fast-forward mode.
+func RunKernelFunctional(l *kernel.Launch) (insts uint64, err error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	for g := 0; g < l.NumWorkgroups; g++ {
+		grp := NewGroup(l, g)
+		if err := grp.RunFunctional(); err != nil {
+			return insts, err
+		}
+		for _, w := range grp.Warps {
+			insts += w.InstCount
+		}
+	}
+	return insts, nil
+}

@@ -1,0 +1,502 @@
+// Package emu is the functional emulator: it executes warps of a kernel
+// launch instruction-by-instruction over real register state, with lane
+// masking for divergence. The timing model drives it one instruction at a
+// time in detailed mode; fast-forward (sampled) modes run it in a tight loop
+// with no timing at all — the speed gap between those two paths is exactly
+// what sampled simulation exploits.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"photon/internal/sim/isa"
+	"photon/internal/sim/kernel"
+)
+
+// StepKind tells the timing model what a step did.
+type StepKind uint8
+
+const (
+	StepALU StepKind = iota
+	StepVectorMem
+	StepAtomic
+	StepScalarMem
+	StepLDS
+	StepBarrier
+	StepWaitcnt
+	StepDone
+)
+
+// StepInfo reports the side effects of executing one instruction, for the
+// timing model's consumption. Addrs aliases an internal buffer and is only
+// valid until the next Step call.
+type StepInfo struct {
+	Kind     StepKind
+	Inst     *isa.Inst
+	IsStore  bool
+	Addrs    []uint64 // per-active-lane byte addresses for vector memory
+	SAddr    uint64   // address for scalar loads
+	EnteredB bool     // this instruction is the first of a basic block
+	BlockIdx int      // static basic-block index containing the instruction
+}
+
+// Warp is the architectural state of one wavefront.
+type Warp struct {
+	Launch    *kernel.Launch
+	GlobalID  int
+	GroupID   int
+	IDInGroup int
+
+	PC   int
+	SCC  bool
+	Exec uint64
+	VCC  uint64
+
+	sgpr  []uint32
+	vgpr  []uint32 // [reg*64 + lane]
+	masks [8]uint64
+	lds   []byte // shared with the other warps of the workgroup
+
+	Done      bool
+	AtBarrier bool
+
+	// InstCount is the number of dynamic instructions executed.
+	InstCount uint64
+	// BBCounts[i] counts entries into static basic block i; it is the
+	// warp's Basic Block Vector (BBV).
+	BBCounts []uint32
+	// outstandingMem counts vector-memory ops issued since the last
+	// waitcnt; purely informational for the functional model.
+	outstandingMem int
+
+	addrBuf [kernel.WavefrontSize]uint64
+}
+
+// NewWarp creates warp warpID of the launch. lds is the workgroup's
+// local-data-share backing store, shared between sibling warps.
+func NewWarp(l *kernel.Launch, globalID int, lds []byte) *Warp {
+	p := l.Program
+	w := &Warp{
+		Launch:    l,
+		GlobalID:  globalID,
+		GroupID:   globalID / l.WarpsPerGroup,
+		IDInGroup: globalID % l.WarpsPerGroup,
+		Exec:      ^uint64(0),
+		sgpr:      make([]uint32, max(p.NumSRegs, kernel.ArgSGPRBase+len(l.Args))),
+		vgpr:      make([]uint32, p.NumVRegs*kernel.WavefrontSize),
+		lds:       lds,
+		BBCounts:  make([]uint32, p.NumBlocks()),
+	}
+	// Dispatch conventions: s0=workgroup ID, s1=warp ID within group,
+	// s2=global warp ID, s3=warps per group; kernel args from s8. v0=lane.
+	w.sgpr[0] = uint32(w.GroupID)
+	w.sgpr[1] = uint32(w.IDInGroup)
+	w.sgpr[2] = uint32(w.GlobalID)
+	w.sgpr[3] = uint32(l.WarpsPerGroup)
+	copy(w.sgpr[kernel.ArgSGPRBase:], l.Args)
+	if p.NumVRegs > 0 {
+		for lane := 0; lane < kernel.WavefrontSize; lane++ {
+			w.vgpr[lane] = uint32(lane)
+		}
+	}
+	return w
+}
+
+// ActiveLanes returns the number of lanes enabled in EXEC.
+func (w *Warp) ActiveLanes() int { return popcount(w.Exec) }
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func (w *Warp) sread(o isa.Operand) uint32 {
+	switch o.Kind {
+	case isa.OperandSReg:
+		return w.sgpr[o.Idx]
+	case isa.OperandImm:
+		return uint32(o.Imm)
+	default:
+		panic(fmt.Sprintf("emu: %s: bad scalar operand kind %d", w.Launch.Name, o.Kind))
+	}
+}
+
+// vread reads a per-lane source: vector registers per lane, scalar registers
+// and immediates broadcast.
+func (w *Warp) vread(o isa.Operand, lane int) uint32 {
+	switch o.Kind {
+	case isa.OperandVReg:
+		return w.vgpr[int(o.Idx)*kernel.WavefrontSize+lane]
+	case isa.OperandSReg:
+		return w.sgpr[o.Idx]
+	case isa.OperandImm:
+		return uint32(o.Imm)
+	default:
+		panic(fmt.Sprintf("emu: %s: bad vector operand kind %d", w.Launch.Name, o.Kind))
+	}
+}
+
+func (w *Warp) vwrite(o isa.Operand, lane int, v uint32) {
+	w.vgpr[int(o.Idx)*kernel.WavefrontSize+lane] = v
+}
+
+// SReg returns scalar register i (for tests and debugging).
+func (w *Warp) SReg(i int) uint32 { return w.sgpr[i] }
+
+// VReg returns vector register i of the given lane (for tests).
+func (w *Warp) VReg(i, lane int) uint32 { return w.vgpr[i*kernel.WavefrontSize+lane] }
+
+func f32(bits uint32) float32 { return math.Float32frombits(bits) }
+func bits32(f float32) uint32 { return math.Float32bits(f) }
+func sext(v uint32) int32     { return int32(v) }
+
+// Step executes the instruction at PC and advances the warp. It must not be
+// called on a Done warp; callers resume barriers by clearing AtBarrier.
+func (w *Warp) Step(info *StepInfo) {
+	if w.Done {
+		panic(fmt.Sprintf("emu: %s warp %d stepped after s_endpgm", w.Launch.Name, w.GlobalID))
+	}
+	p := w.Launch.Program
+	in := &p.Insts[w.PC]
+	*info = StepInfo{Kind: StepALU, Inst: in, BlockIdx: p.BlockIndexAt(w.PC)}
+	if b := p.Blocks[info.BlockIdx]; b.StartPC == w.PC {
+		info.EnteredB = true
+		w.BBCounts[info.BlockIdx]++
+	}
+	w.InstCount++
+	nextPC := w.PC + 1
+
+	switch in.Op {
+	// ---- scalar ALU ----
+	case isa.OpSMov:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0)
+	case isa.OpSAdd:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) + w.sread(in.Src1)
+	case isa.OpSSub:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) - w.sread(in.Src1)
+	case isa.OpSMul:
+		w.sgpr[in.Dst.Idx] = uint32(sext(w.sread(in.Src0)) * sext(w.sread(in.Src1)))
+	case isa.OpSLShl:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) << (w.sread(in.Src1) & 31)
+	case isa.OpSLShr:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) >> (w.sread(in.Src1) & 31)
+	case isa.OpSAnd:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) & w.sread(in.Src1)
+	case isa.OpSOr:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) | w.sread(in.Src1)
+	case isa.OpSXor:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) ^ w.sread(in.Src1)
+	case isa.OpSMin:
+		a, b := sext(w.sread(in.Src0)), sext(w.sread(in.Src1))
+		if b < a {
+			a = b
+		}
+		w.sgpr[in.Dst.Idx] = uint32(a)
+	case isa.OpSMax:
+		a, b := sext(w.sread(in.Src0)), sext(w.sread(in.Src1))
+		if b > a {
+			a = b
+		}
+		w.sgpr[in.Dst.Idx] = uint32(a)
+	case isa.OpSDiv:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) / w.sread(in.Src1)
+	case isa.OpSMod:
+		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) % w.sread(in.Src1)
+	case isa.OpSCmpLt:
+		w.SCC = sext(w.sread(in.Src0)) < sext(w.sread(in.Src1))
+	case isa.OpSCmpLe:
+		w.SCC = sext(w.sread(in.Src0)) <= sext(w.sread(in.Src1))
+	case isa.OpSCmpEq:
+		w.SCC = w.sread(in.Src0) == w.sread(in.Src1)
+	case isa.OpSCmpNe:
+		w.SCC = w.sread(in.Src0) != w.sread(in.Src1)
+	case isa.OpSCmpGt:
+		w.SCC = sext(w.sread(in.Src0)) > sext(w.sread(in.Src1))
+	case isa.OpSCmpGe:
+		w.SCC = sext(w.sread(in.Src0)) >= sext(w.sread(in.Src1))
+
+	// ---- vector ALU ----
+	case isa.OpVMov, isa.OpVAdd, isa.OpVSub, isa.OpVMul, isa.OpVMad,
+		isa.OpVLShl, isa.OpVLShr, isa.OpVAnd, isa.OpVOr, isa.OpVXor,
+		isa.OpVMin, isa.OpVMax, isa.OpVDiv, isa.OpVMod,
+		isa.OpVFAdd, isa.OpVFSub, isa.OpVFMul, isa.OpVFFma, isa.OpVFMin,
+		isa.OpVFMax, isa.OpVFRcp, isa.OpVFSqrt, isa.OpVFExp, isa.OpVFAbs,
+		isa.OpVCvtI2F, isa.OpVCvtF2I:
+		w.vectorALU(in)
+
+	// ---- vector compares ----
+	case isa.OpVCmpLt, isa.OpVCmpLe, isa.OpVCmpEq, isa.OpVCmpNe,
+		isa.OpVCmpGt, isa.OpVCmpGe, isa.OpVFCmpLt, isa.OpVFCmpGt:
+		w.vectorCmp(in)
+
+	// ---- exec mask ----
+	case isa.OpSAndSaveExec:
+		w.masks[in.Dst.Idx] = w.Exec
+		w.Exec &= w.VCC
+	case isa.OpSAndNotExec:
+		w.Exec = w.masks[in.Src0.Idx] &^ w.VCC
+	case isa.OpSSetExec:
+		w.Exec = w.masks[in.Src0.Idx]
+	case isa.OpSMovExecAll:
+		w.Exec = ^uint64(0)
+
+	// ---- memory ----
+	case isa.OpSLoad:
+		addr := uint64(w.sread(in.Src0)) + uint64(int64(in.Offset))
+		w.sgpr[in.Dst.Idx] = w.Launch.Memory.Read32(addr)
+		info.Kind = StepScalarMem
+		info.SAddr = addr
+	case isa.OpVLoad:
+		w.vectorMem(in, info, false)
+	case isa.OpVStore:
+		w.vectorMem(in, info, true)
+	case isa.OpVAtomicAdd, isa.OpVAtomicMax, isa.OpVAtomicMin, isa.OpVAtomicFAdd:
+		w.atomicMem(in, info)
+	case isa.OpLDSLoad:
+		w.ldsAccess(in, info, false)
+	case isa.OpLDSStore:
+		w.ldsAccess(in, info, true)
+
+	// ---- control ----
+	case isa.OpSBranch:
+		nextPC = in.Target
+	case isa.OpCBranchSCC0:
+		if !w.SCC {
+			nextPC = in.Target
+		}
+	case isa.OpCBranchSCC1:
+		if w.SCC {
+			nextPC = in.Target
+		}
+	case isa.OpCBranchVCCZ:
+		if w.VCC == 0 {
+			nextPC = in.Target
+		}
+	case isa.OpCBranchVCCNZ:
+		if w.VCC != 0 {
+			nextPC = in.Target
+		}
+	case isa.OpCBranchExecZ:
+		if w.Exec == 0 {
+			nextPC = in.Target
+		}
+	case isa.OpCBranchExecNZ:
+		if w.Exec != 0 {
+			nextPC = in.Target
+		}
+	case isa.OpSBarrier:
+		w.AtBarrier = true
+		info.Kind = StepBarrier
+	case isa.OpSWaitcnt:
+		w.outstandingMem = 0
+		info.Kind = StepWaitcnt
+	case isa.OpSNop:
+		// nothing
+	case isa.OpSEndpgm:
+		w.Done = true
+		info.Kind = StepDone
+	default:
+		panic(fmt.Sprintf("emu: %s: unimplemented op %s", w.Launch.Name, in.Op))
+	}
+
+	w.PC = nextPC
+}
+
+func (w *Warp) vectorALU(in *isa.Inst) {
+	for lane := 0; lane < kernel.WavefrontSize; lane++ {
+		if w.Exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		var r uint32
+		switch in.Op {
+		case isa.OpVMov:
+			r = w.vread(in.Src0, lane)
+		case isa.OpVAdd:
+			r = w.vread(in.Src0, lane) + w.vread(in.Src1, lane)
+		case isa.OpVSub:
+			r = w.vread(in.Src0, lane) - w.vread(in.Src1, lane)
+		case isa.OpVMul:
+			r = uint32(sext(w.vread(in.Src0, lane)) * sext(w.vread(in.Src1, lane)))
+		case isa.OpVMad:
+			r = uint32(sext(w.vread(in.Src0, lane))*sext(w.vread(in.Src1, lane))) + w.vread(in.Src2, lane)
+		case isa.OpVLShl:
+			r = w.vread(in.Src0, lane) << (w.vread(in.Src1, lane) & 31)
+		case isa.OpVLShr:
+			r = w.vread(in.Src0, lane) >> (w.vread(in.Src1, lane) & 31)
+		case isa.OpVAnd:
+			r = w.vread(in.Src0, lane) & w.vread(in.Src1, lane)
+		case isa.OpVOr:
+			r = w.vread(in.Src0, lane) | w.vread(in.Src1, lane)
+		case isa.OpVXor:
+			r = w.vread(in.Src0, lane) ^ w.vread(in.Src1, lane)
+		case isa.OpVMin:
+			a, b := sext(w.vread(in.Src0, lane)), sext(w.vread(in.Src1, lane))
+			if b < a {
+				a = b
+			}
+			r = uint32(a)
+		case isa.OpVMax:
+			a, b := sext(w.vread(in.Src0, lane)), sext(w.vread(in.Src1, lane))
+			if b > a {
+				a = b
+			}
+			r = uint32(a)
+		case isa.OpVDiv:
+			r = w.vread(in.Src0, lane) / w.vread(in.Src1, lane)
+		case isa.OpVMod:
+			r = w.vread(in.Src0, lane) % w.vread(in.Src1, lane)
+		case isa.OpVFAdd:
+			r = bits32(f32(w.vread(in.Src0, lane)) + f32(w.vread(in.Src1, lane)))
+		case isa.OpVFSub:
+			r = bits32(f32(w.vread(in.Src0, lane)) - f32(w.vread(in.Src1, lane)))
+		case isa.OpVFMul:
+			r = bits32(f32(w.vread(in.Src0, lane)) * f32(w.vread(in.Src1, lane)))
+		case isa.OpVFFma:
+			r = bits32(f32(w.vread(in.Src0, lane))*f32(w.vread(in.Src1, lane)) + f32(w.vread(in.Src2, lane)))
+		case isa.OpVFMin:
+			r = bits32(float32(math.Min(float64(f32(w.vread(in.Src0, lane))), float64(f32(w.vread(in.Src1, lane))))))
+		case isa.OpVFMax:
+			r = bits32(float32(math.Max(float64(f32(w.vread(in.Src0, lane))), float64(f32(w.vread(in.Src1, lane))))))
+		case isa.OpVFRcp:
+			r = bits32(1 / f32(w.vread(in.Src0, lane)))
+		case isa.OpVFSqrt:
+			r = bits32(float32(math.Sqrt(float64(f32(w.vread(in.Src0, lane))))))
+		case isa.OpVFExp:
+			r = bits32(float32(math.Exp(float64(f32(w.vread(in.Src0, lane))))))
+		case isa.OpVFAbs:
+			r = bits32(float32(math.Abs(float64(f32(w.vread(in.Src0, lane))))))
+		case isa.OpVCvtI2F:
+			r = bits32(float32(sext(w.vread(in.Src0, lane))))
+		case isa.OpVCvtF2I:
+			r = uint32(int32(f32(w.vread(in.Src0, lane))))
+		}
+		w.vwrite(in.Dst, lane, r)
+	}
+}
+
+func (w *Warp) vectorCmp(in *isa.Inst) {
+	var vcc uint64
+	for lane := 0; lane < kernel.WavefrontSize; lane++ {
+		if w.Exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		var t bool
+		switch in.Op {
+		case isa.OpVCmpLt:
+			t = sext(w.vread(in.Src0, lane)) < sext(w.vread(in.Src1, lane))
+		case isa.OpVCmpLe:
+			t = sext(w.vread(in.Src0, lane)) <= sext(w.vread(in.Src1, lane))
+		case isa.OpVCmpEq:
+			t = w.vread(in.Src0, lane) == w.vread(in.Src1, lane)
+		case isa.OpVCmpNe:
+			t = w.vread(in.Src0, lane) != w.vread(in.Src1, lane)
+		case isa.OpVCmpGt:
+			t = sext(w.vread(in.Src0, lane)) > sext(w.vread(in.Src1, lane))
+		case isa.OpVCmpGe:
+			t = sext(w.vread(in.Src0, lane)) >= sext(w.vread(in.Src1, lane))
+		case isa.OpVFCmpLt:
+			t = f32(w.vread(in.Src0, lane)) < f32(w.vread(in.Src1, lane))
+		case isa.OpVFCmpGt:
+			t = f32(w.vread(in.Src0, lane)) > f32(w.vread(in.Src1, lane))
+		}
+		if t {
+			vcc |= 1 << uint(lane)
+		}
+	}
+	w.VCC = vcc
+}
+
+func (w *Warp) vectorMem(in *isa.Inst, info *StepInfo, store bool) {
+	info.Kind = StepVectorMem
+	info.IsStore = store
+	n := 0
+	memArena := w.Launch.Memory
+	for lane := 0; lane < kernel.WavefrontSize; lane++ {
+		if w.Exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		addr := uint64(w.vread(in.Src0, lane)) + uint64(int64(in.Offset))
+		w.addrBuf[n] = addr
+		n++
+		if store {
+			memArena.Write32(addr, w.vread(in.Src1, lane))
+		} else {
+			w.vwrite(in.Dst, lane, memArena.Read32(addr))
+		}
+	}
+	info.Addrs = w.addrBuf[:n]
+	w.outstandingMem++
+}
+
+// atomicMem executes a per-lane read-modify-write. Lanes resolve in lane
+// order, making intra-warp conflicts on one address deterministic.
+func (w *Warp) atomicMem(in *isa.Inst, info *StepInfo) {
+	info.Kind = StepAtomic
+	info.IsStore = true
+	n := 0
+	memArena := w.Launch.Memory
+	for lane := 0; lane < kernel.WavefrontSize; lane++ {
+		if w.Exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		addr := uint64(w.vread(in.Src0, lane)) + uint64(int64(in.Offset))
+		w.addrBuf[n] = addr
+		n++
+		old := memArena.Read32(addr)
+		val := w.vread(in.Src1, lane)
+		var next uint32
+		switch in.Op {
+		case isa.OpVAtomicAdd:
+			next = old + val
+		case isa.OpVAtomicMax:
+			next = old
+			if sext(val) > sext(old) {
+				next = val
+			}
+		case isa.OpVAtomicMin:
+			next = old
+			if sext(val) < sext(old) {
+				next = val
+			}
+		case isa.OpVAtomicFAdd:
+			next = bits32(f32(old) + f32(val))
+		}
+		memArena.Write32(addr, next)
+		if in.Dst.Kind == isa.OperandVReg {
+			w.vwrite(in.Dst, lane, old)
+		}
+	}
+	info.Addrs = w.addrBuf[:n]
+	w.outstandingMem++
+}
+
+func (w *Warp) ldsAccess(in *isa.Inst, info *StepInfo, store bool) {
+	info.Kind = StepLDS
+	info.IsStore = store
+	for lane := 0; lane < kernel.WavefrontSize; lane++ {
+		if w.Exec&(1<<uint(lane)) == 0 {
+			continue
+		}
+		addr := int(w.vread(in.Src0, lane)) + int(in.Offset)
+		if addr < 0 || addr+4 > len(w.lds) {
+			panic(fmt.Sprintf("emu: %s warp %d: LDS access %d out of %d bytes",
+				w.Launch.Name, w.GlobalID, addr, len(w.lds)))
+		}
+		if store {
+			v := w.vread(in.Src1, lane)
+			w.lds[addr] = byte(v)
+			w.lds[addr+1] = byte(v >> 8)
+			w.lds[addr+2] = byte(v >> 16)
+			w.lds[addr+3] = byte(v >> 24)
+		} else {
+			v := uint32(w.lds[addr]) | uint32(w.lds[addr+1])<<8 |
+				uint32(w.lds[addr+2])<<16 | uint32(w.lds[addr+3])<<24
+			w.vwrite(in.Dst, lane, v)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package event provides the discrete-event simulation engine that drives
+// the timing model of the GPU simulator. Components schedule callbacks at
+// future virtual times (measured in cycles); the engine executes them in
+// time order, breaking ties by scheduling order so runs are deterministic.
+package event
+
+import "container/heap"
+
+// Time is a virtual timestamp measured in cycles. All GPU components in this
+// repository share one clock domain (1 GHz in the paper's configurations), so
+// a cycle count is also a nanosecond count.
+type Time int64
+
+// Handler is a callback invoked when an event fires. The handler receives
+// the event's timestamp.
+type Handler func(now Time)
+
+type item struct {
+	at      Time
+	seq     uint64
+	handler Handler
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	events uint64
+}
+
+// New returns a ready-to-run engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports how many events are waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Processed returns the total number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// Schedule registers handler to run at time at. Scheduling in the past (or
+// at the current instant) fires the handler at the current time, preserving
+// causality without requiring callers to clamp.
+func (e *Engine) Schedule(at Time, handler Handler) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: at, seq: e.seq, handler: handler})
+}
+
+// After registers handler to run delay cycles from now.
+func (e *Engine) After(delay Time, handler Handler) {
+	e.Schedule(e.now+delay, handler)
+}
+
+// Run executes events until the queue drains, then returns the final time.
+func (e *Engine) Run() Time {
+	for len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(item)
+		e.now = it.at
+		e.events++
+		it.handler(e.now)
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. It returns true if
+// the queue drained before the deadline was reached.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.queue) > 0 {
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return false
+		}
+		it := heap.Pop(&e.queue).(item)
+		e.now = it.at
+		e.events++
+		it.handler(e.now)
+	}
+	return true
+}
+
+// Step executes exactly one event if any is pending, reporting whether one
+// fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	e.now = it.at
+	e.events++
+	it.handler(e.now)
+	return true
+}

@@ -1,0 +1,24 @@
+package event_test
+
+import (
+	"fmt"
+
+	"photon/internal/sim/event"
+)
+
+// The engine executes scheduled callbacks in time order; handlers may
+// schedule further events, which is how the timing model's components drive
+// each other.
+func Example() {
+	e := event.New()
+	e.Schedule(10, func(now event.Time) {
+		fmt.Println("fetch at", now)
+		e.After(5, func(now event.Time) { fmt.Println("retire at", now) })
+	})
+	e.Schedule(12, func(now event.Time) { fmt.Println("other warp at", now) })
+	e.Run()
+	// Output:
+	// fetch at 10
+	// other warp at 12
+	// retire at 15
+}

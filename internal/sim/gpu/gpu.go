@@ -1,0 +1,122 @@
+package gpu
+
+import (
+	"time"
+
+	"photon/internal/sim/emu"
+	"photon/internal/sim/event"
+	"photon/internal/sim/kernel"
+	"photon/internal/sim/mem"
+	"photon/internal/sim/timing"
+)
+
+// GPU is one simulated device. It owns the (stateful) memory-hierarchy
+// timing model; a fresh timing machine is created per kernel so each kernel
+// starts at cycle zero. GPUs are not safe for concurrent use.
+type GPU struct {
+	cfg  Config
+	hier *mem.Hierarchy
+}
+
+// New builds a GPU from a configuration.
+func New(cfg Config) *GPU {
+	return &GPU{cfg: cfg, hier: mem.NewHierarchy(cfg.Memory)}
+}
+
+// Config returns the GPU's configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// Hierarchy exposes the memory hierarchy (observers and tests use it).
+func (g *GPU) Hierarchy() *mem.Hierarchy { return g.hier }
+
+// RunDetailed simulates the launch in detailed mode. obs may be nil; gate,
+// when non-nil, is polled before each workgroup dispatch and stops detailed
+// simulation when it returns true. Caches are reset so every kernel starts
+// cold, which keeps repeated kernels bit-identical (the property
+// kernel-sampling exploits).
+func (g *GPU) RunDetailed(l *kernel.Launch, obs timing.Observer, gate func() bool) (timing.Result, error) {
+	g.hier.Reset()
+	m := timing.NewMachine(g.cfg.Compute, g.hier, obs)
+	if gate != nil {
+		m.SetStopDispatch(gate)
+	}
+	return m.Run(l)
+}
+
+// KernelResult is the outcome of running one kernel under some runner.
+type KernelResult struct {
+	// SimTime is the kernel's (measured or predicted) execution time in
+	// cycles.
+	SimTime event.Time
+	// Insts is the kernel's total dynamic warp-instruction count (measured,
+	// or predicted for skipped portions).
+	Insts uint64
+	// DetailedInsts counts instructions that went through the detailed
+	// timing model.
+	DetailedInsts uint64
+	// Mode names the mechanism that produced SimTime (e.g. "full",
+	// "bb-sampling", "warp-sampling", "kernel-sampling").
+	Mode string
+	// Wall is the host time spent producing this result.
+	Wall time.Duration
+}
+
+// IPC returns warp instructions per cycle.
+func (r KernelResult) IPC() float64 {
+	if r.SimTime == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.SimTime)
+}
+
+// Runner executes kernels under some simulation methodology. Implementations
+// are the full-detailed runner below, the Photon controller
+// (internal/core) and the PKA baseline (internal/baseline/pka).
+type Runner interface {
+	Name() string
+	RunKernel(g *GPU, l *kernel.Launch) (KernelResult, error)
+}
+
+// FullRunner simulates every kernel entirely in detailed mode; it is the
+// accuracy and wall-time baseline ("Full detailed MGPUSim" in the figures).
+type FullRunner struct {
+	// Observer, when non-nil, receives timing events (used by the
+	// observation experiments).
+	Observer timing.Observer
+}
+
+// Name implements Runner.
+func (FullRunner) Name() string { return "full" }
+
+// RunKernel implements Runner.
+func (f FullRunner) RunKernel(g *GPU, l *kernel.Launch) (KernelResult, error) {
+	start := time.Now()
+	res, err := g.RunDetailed(l, f.Observer, nil)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	return KernelResult{
+		SimTime:       res.EndTime,
+		Insts:         res.InstCount,
+		DetailedInsts: res.InstCount,
+		Mode:          "full",
+		Wall:          time.Since(start),
+	}, nil
+}
+
+// FunctionalRunner runs kernels functionally only (no timing); it reports a
+// zero SimTime and exists for emulator validation and instruction counting.
+type FunctionalRunner struct{}
+
+// Name implements Runner.
+func (FunctionalRunner) Name() string { return "functional" }
+
+// RunKernel implements Runner.
+func (FunctionalRunner) RunKernel(g *GPU, l *kernel.Launch) (KernelResult, error) {
+	start := time.Now()
+	insts, err := emu.RunKernelFunctional(l)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	return KernelResult{Insts: insts, Mode: "functional", Wall: time.Since(start)}, nil
+}

@@ -1,0 +1,126 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels, in the style of a tiny
+// assembler. Kernel generators in internal/workloads use it to emit
+// parameterized programs.
+//
+//	b := isa.NewBuilder("axpy")
+//	b.I(isa.OpVMul, isa.V(2), isa.V(0), isa.S(4))
+//	b.Label("loop")
+//	...
+//	b.Br(isa.OpCBranchSCC1, "loop")
+//	b.I(isa.OpSEndpgm)
+//	prog := b.MustBuild()
+type Builder struct {
+	name     string
+	insts    []Inst
+	labels   map[string]int
+	fixups   []fixup
+	ldsBytes int
+	errs     []error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// SetLDS declares the per-workgroup local-data-share size in bytes.
+func (b *Builder) SetLDS(bytes int) { b.ldsBytes = bytes }
+
+// Len returns the number of instructions emitted so far (the PC of the next
+// instruction).
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Label defines a branch target at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// I emits a generic instruction: opcode, then destination and up to three
+// sources. Operand order is (dst, src0, src1, src2); trailing operands may
+// be omitted.
+func (b *Builder) I(op Op, operands ...Operand) {
+	in := Inst{Op: op}
+	if len(operands) > 0 {
+		in.Dst = operands[0]
+	}
+	if len(operands) > 1 {
+		in.Src0 = operands[1]
+	}
+	if len(operands) > 2 {
+		in.Src1 = operands[2]
+	}
+	if len(operands) > 3 {
+		in.Src2 = operands[3]
+	}
+	b.insts = append(b.insts, in)
+}
+
+// Load emits a memory load (OpSLoad, OpVLoad or OpLDSLoad) with a byte
+// offset: dst = mem[src + offset].
+func (b *Builder) Load(op Op, dst, addr Operand, offset int32) {
+	b.insts = append(b.insts, Inst{Op: op, Dst: dst, Src0: addr, Offset: offset})
+}
+
+// Store emits a memory store (OpVStore or OpLDSStore) with a byte offset:
+// mem[addr + offset] = val.
+func (b *Builder) Store(op Op, addr, val Operand, offset int32) {
+	b.insts = append(b.insts, Inst{Op: op, Src0: addr, Src1: val, Offset: offset})
+}
+
+// Br emits a branch to a label (which may be defined later).
+func (b *Builder) Br(op Op, label string) {
+	if !op.IsBranch() {
+		b.errs = append(b.errs, fmt.Errorf("isa: Br with non-branch op %s", op))
+		return
+	}
+	b.fixups = append(b.fixups, fixup{pc: len(b.insts), label: label})
+	b.insts = append(b.insts, Inst{Op: op})
+}
+
+// Waitcnt emits s_waitcnt allowing at most n outstanding vector-memory ops.
+func (b *Builder) Waitcnt(n int32) {
+	b.insts = append(b.insts, Inst{Op: OpSWaitcnt, Offset: n})
+}
+
+// Barrier emits s_barrier.
+func (b *Builder) Barrier() { b.I(OpSBarrier) }
+
+// End emits s_endpgm.
+func (b *Builder) End() { b.I(OpSEndpgm) }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: program %q: undefined label %q", b.name, f.label)
+		}
+		b.insts[f.pc].Target = target
+	}
+	return NewProgram(b.name, b.insts, b.ldsBytes)
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

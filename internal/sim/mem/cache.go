@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"fmt"
+
+	"photon/internal/sim/event"
+)
+
+// LineSize is the cache-line size in bytes for every cache level, matching
+// the 64-byte lines of GCN/CDNA GPUs.
+const LineSize = 64
+
+// CacheConfig describes one cache.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	HitLatency event.Time
+	// ThroughputCycles is the minimum spacing between two accesses through
+	// the cache's port; it produces bandwidth contention when many warps
+	// hammer the same cache.
+	ThroughputCycles event.Time
+	// IndexShift drops low line-number bits before set indexing. Banked
+	// caches that are line-interleaved across banks set it to log2(banks)
+	// so a bank still uses all of its sets.
+	IndexShift uint
+}
+
+// Validate checks the configuration for internal consistency.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("mem: cache %q: non-positive size or ways", c.Name)
+	}
+	if c.SizeBytes%(c.Ways*LineSize) != 0 {
+		return fmt.Errorf("mem: cache %q: size %d not divisible into %d ways of %d-byte lines",
+			c.Name, c.SizeBytes, c.Ways, LineSize)
+	}
+	return nil
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Lower is the interface a cache uses to fetch lines from the next level of
+// the hierarchy. Access takes the time the request leaves this level and
+// returns the time the line is available.
+type Lower interface {
+	Access(now event.Time, lineAddr uint64, write bool) event.Time
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with an LRU
+// replacement policy and a single port whose throughput limit models
+// bandwidth contention. It is a timing model only: data lives in the
+// functional Flat memory.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setMask  uint64
+	lower    Lower
+	portFree event.Time
+	lruClock uint64
+
+	// Stats
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// NewCache builds a cache over the given lower level.
+func NewCache(cfg CacheConfig, lower Lower) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.Ways * LineSize)
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %q: set count %d not a power of two", cfg.Name, numSets))
+	}
+	sets := make([][]cacheLine, numSets)
+	backing := make([]cacheLine, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), lower: lower}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Reset invalidates all lines and clears statistics (used between kernels
+// when a cold-cache policy is wanted, and by tests).
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+	c.portFree = 0
+	c.Hits, c.Misses, c.Evictions, c.Writebacks = 0, 0, 0, 0
+}
+
+// Access performs a timing access for the line containing lineAddr and
+// returns the completion time. lineAddr must be line-aligned.
+func (c *Cache) Access(now event.Time, lineAddr uint64, write bool) event.Time {
+	// Port arbitration: the access cannot start before the port frees up.
+	start := now
+	if c.portFree > start {
+		start = c.portFree
+	}
+	c.portFree = start + c.cfg.ThroughputCycles
+
+	setIdx := ((lineAddr / LineSize) >> c.cfg.IndexShift) & c.setMask
+	tag := lineAddr / LineSize // full line number doubles as the tag
+	set := c.sets[setIdx]
+	c.lruClock++
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.Hits++
+			set[i].lru = c.lruClock
+			if write {
+				set[i].dirty = true
+			}
+			return start + c.cfg.HitLatency
+		}
+	}
+
+	// Miss: pick the LRU victim, write it back if dirty, then fill from the
+	// lower level. The writeback consumes lower-level bandwidth but is off
+	// the critical path of this access.
+	c.Misses++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.Evictions++
+		if set[victim].dirty {
+			c.Writebacks++
+			c.lower.Access(start+c.cfg.HitLatency, set[victim].tag*LineSize, true)
+		}
+	}
+	fillDone := c.lower.Access(start+c.cfg.HitLatency, lineAddr, false)
+	set[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.lruClock}
+	return fillDone
+}
+
+// Contains reports whether the line holding lineAddr is currently resident
+// (no LRU update, no timing side effects). Tests use it to verify fills.
+func (c *Cache) Contains(lineAddr uint64) bool {
+	setIdx := ((lineAddr / LineSize) >> c.cfg.IndexShift) & c.setMask
+	tag := lineAddr / LineSize
+	for _, l := range c.sets[setIdx] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}

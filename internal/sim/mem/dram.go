@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"photon/internal/sim/event"
+
+	"fmt"
+)
+
+// DRAMConfig describes the banked DRAM timing model.
+type DRAMConfig struct {
+	Name  string
+	Banks int
+	// RowBits selects how many consecutive address bits map into one DRAM
+	// row (a row is 1<<RowBits bytes).
+	RowBits uint
+	// RowHitLatency applies when an access targets the currently-open row;
+	// RowMissLatency applies otherwise (precharge + activate + CAS).
+	RowHitLatency  event.Time
+	RowMissLatency event.Time
+	// BurstCycles is the minimum spacing between accesses to one bank; the
+	// resulting queueing delay is the main source of memory contention.
+	BurstCycles event.Time
+}
+
+// Validate checks the configuration.
+func (c DRAMConfig) Validate() error {
+	if c.Banks <= 0 || c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("mem: dram %q: bank count %d must be a positive power of two", c.Name, c.Banks)
+	}
+	if c.RowBits < 6 {
+		return fmt.Errorf("mem: dram %q: rows must hold at least one cache line", c.Name)
+	}
+	return nil
+}
+
+type dramBank struct {
+	nextFree event.Time
+	openRow  uint64
+	rowValid bool
+}
+
+// DRAM is a banked memory timing model with open-row tracking and per-bank
+// queueing. Lines are interleaved across banks at cache-line granularity.
+type DRAM struct {
+	cfg   DRAMConfig
+	banks []dramBank
+
+	Accesses, RowHits uint64
+}
+
+// NewDRAM builds the DRAM model.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &DRAM{cfg: cfg, banks: make([]dramBank, cfg.Banks)}
+}
+
+// Config returns the DRAM configuration.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// Reset clears bank state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.banks {
+		d.banks[i] = dramBank{}
+	}
+	d.Accesses, d.RowHits = 0, 0
+}
+
+// Access implements Lower. It charges row-hit or row-miss latency plus any
+// queueing delay behind earlier accesses to the same bank.
+func (d *DRAM) Access(now event.Time, lineAddr uint64, write bool) event.Time {
+	d.Accesses++
+	bankIdx := (lineAddr / LineSize) & uint64(d.cfg.Banks-1)
+	row := lineAddr >> d.cfg.RowBits
+	b := &d.banks[bankIdx]
+
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	lat := d.cfg.RowMissLatency
+	if b.rowValid && b.openRow == row {
+		lat = d.cfg.RowHitLatency
+		d.RowHits++
+	}
+	b.openRow = row
+	b.rowValid = true
+	b.nextFree = start + d.cfg.BurstCycles
+	return start + lat
+}

@@ -1,0 +1,221 @@
+package mem
+
+import (
+	"fmt"
+
+	"photon/internal/sim/event"
+)
+
+// HierarchyConfig wires the full GPU memory system: per-CU L1 vector caches,
+// L1 instruction and scalar caches shared by groups of CUs, a banked L2, and
+// DRAM. The two configurations in the paper's Table 1 are built in
+// internal/sim/gpu.
+type HierarchyConfig struct {
+	NumCUs int
+	// CUsPerScalarBlock is how many CUs share one L1I + one L1 scalar cache
+	// (4 on both R9 Nano and MI100: 64 CUs/16 caches, 120 CUs/30 caches).
+	CUsPerScalarBlock int
+	L1V               CacheConfig
+	L1I               CacheConfig
+	L1K               CacheConfig // scalar (constant) cache
+	L2                CacheConfig // per-bank configuration
+	L2Banks           int
+	DRAM              DRAMConfig
+}
+
+// Validate checks the wiring.
+func (c HierarchyConfig) Validate() error {
+	if c.NumCUs <= 0 {
+		return fmt.Errorf("mem: hierarchy: NumCUs must be positive")
+	}
+	if c.CUsPerScalarBlock <= 0 || c.NumCUs%c.CUsPerScalarBlock != 0 {
+		return fmt.Errorf("mem: hierarchy: %d CUs not divisible into scalar blocks of %d",
+			c.NumCUs, c.CUsPerScalarBlock)
+	}
+	if c.L2Banks <= 0 || c.L2Banks&(c.L2Banks-1) != 0 {
+		return fmt.Errorf("mem: hierarchy: L2 bank count %d must be a positive power of two", c.L2Banks)
+	}
+	for _, cc := range []CacheConfig{c.L1V, c.L1I, c.L1K, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.DRAM.Validate()
+}
+
+// Hierarchy is the timing model of the memory system. It is not safe for
+// concurrent use; each simulated GPU owns one.
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	l1v  []*Cache
+	l1i  []*Cache
+	l1k  []*Cache
+	l2   []*Cache
+	dram *DRAM
+}
+
+// l2Router steers L1 misses to the right L2 bank by line interleaving.
+type l2Router struct{ h *Hierarchy }
+
+func (r l2Router) Access(now event.Time, lineAddr uint64, write bool) event.Time {
+	bank := (lineAddr / LineSize) & uint64(r.h.cfg.L2Banks-1)
+	return r.h.l2[bank].Access(now, lineAddr, write)
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{cfg: cfg, dram: NewDRAM(cfg.DRAM)}
+	h.l2 = make([]*Cache, cfg.L2Banks)
+	bankShift := uint(0)
+	for 1<<bankShift < cfg.L2Banks {
+		bankShift++
+	}
+	for i := range h.l2 {
+		bankCfg := cfg.L2
+		bankCfg.Name = fmt.Sprintf("%s[%d]", cfg.L2.Name, i)
+		bankCfg.IndexShift = bankShift
+		h.l2[i] = NewCache(bankCfg, h.dram)
+	}
+	router := l2Router{h}
+	h.l1v = make([]*Cache, cfg.NumCUs)
+	for i := range h.l1v {
+		c := cfg.L1V
+		c.Name = fmt.Sprintf("%s[cu%d]", cfg.L1V.Name, i)
+		h.l1v[i] = NewCache(c, router)
+	}
+	blocks := cfg.NumCUs / cfg.CUsPerScalarBlock
+	h.l1i = make([]*Cache, blocks)
+	h.l1k = make([]*Cache, blocks)
+	for i := 0; i < blocks; i++ {
+		ci := cfg.L1I
+		ci.Name = fmt.Sprintf("%s[blk%d]", cfg.L1I.Name, i)
+		h.l1i[i] = NewCache(ci, router)
+		ck := cfg.L1K
+		ck.Name = fmt.Sprintf("%s[blk%d]", cfg.L1K.Name, i)
+		h.l1k[i] = NewCache(ck, router)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Reset invalidates every cache and clears DRAM state; the driver calls it
+// between independent workloads.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.l1v {
+		c.Reset()
+	}
+	for _, c := range h.l1i {
+		c.Reset()
+	}
+	for _, c := range h.l1k {
+		c.Reset()
+	}
+	for _, c := range h.l2 {
+		c.Reset()
+	}
+	h.dram.Reset()
+}
+
+// VectorAccess performs a coalesced per-warp vector memory access from cuID.
+// addrs holds the per-active-lane byte addresses. The access is split into
+// unique cache lines; the returned time is when the slowest line completes.
+func (h *Hierarchy) VectorAccess(now event.Time, cuID int, addrs []uint64, write bool) event.Time {
+	if len(addrs) == 0 {
+		return now + h.cfg.L1V.HitLatency
+	}
+	l1 := h.l1v[cuID]
+	done := now
+	// Coalescing: collect unique line addresses. Lane counts are <= 64, so
+	// a small linear-scan set beats map allocation.
+	var lines [64]uint64
+	n := 0
+outer:
+	for _, a := range addrs {
+		la := a &^ uint64(LineSize-1)
+		for i := 0; i < n; i++ {
+			if lines[i] == la {
+				continue outer
+			}
+		}
+		lines[n] = la
+		n++
+	}
+	for i := 0; i < n; i++ {
+		if t := l1.Access(now, lines[i], write); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// AtomicAccess performs a per-warp atomic read-modify-write. As on GCN
+// hardware, global atomics execute at the L2 (the coherence point), not in
+// the per-CU L1: every active lane performs its own access against the
+// owning L2 bank, so atomics to one hot line serialize on one bank while
+// spread atomics parallelize across banks.
+func (h *Hierarchy) AtomicAccess(now event.Time, cuID int, addrs []uint64) event.Time {
+	if len(addrs) == 0 {
+		return now + h.cfg.L2.HitLatency
+	}
+	r := l2Router{h}
+	done := now
+	for _, a := range addrs {
+		if t := r.Access(now, a&^uint64(LineSize-1), true); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// ScalarAccess performs a scalar (constant) load through the scalar cache
+// shared by cuID's block.
+func (h *Hierarchy) ScalarAccess(now event.Time, cuID int, addr uint64) event.Time {
+	blk := cuID / h.cfg.CUsPerScalarBlock
+	return h.l1k[blk].Access(now, addr&^uint64(LineSize-1), false)
+}
+
+// InstFetch charges an instruction-cache access for the fetch group
+// containing instAddr (the timing model fetches once per basic-block entry).
+func (h *Hierarchy) InstFetch(now event.Time, cuID int, instAddr uint64) event.Time {
+	blk := cuID / h.cfg.CUsPerScalarBlock
+	return h.l1i[blk].Access(now, instAddr&^uint64(LineSize-1), false)
+}
+
+// Stats aggregates hit/miss counters across the hierarchy.
+type Stats struct {
+	L1VHits, L1VMisses uint64
+	L1IHits, L1IMisses uint64
+	L1KHits, L1KMisses uint64
+	L2Hits, L2Misses   uint64
+	DRAMAccesses       uint64
+	DRAMRowHits        uint64
+}
+
+// CollectStats sums the per-cache counters.
+func (h *Hierarchy) CollectStats() Stats {
+	var s Stats
+	for _, c := range h.l1v {
+		s.L1VHits += c.Hits
+		s.L1VMisses += c.Misses
+	}
+	for _, c := range h.l1i {
+		s.L1IHits += c.Hits
+		s.L1IMisses += c.Misses
+	}
+	for _, c := range h.l1k {
+		s.L1KHits += c.Hits
+		s.L1KMisses += c.Misses
+	}
+	for _, c := range h.l2 {
+		s.L2Hits += c.Hits
+		s.L2Misses += c.Misses
+	}
+	s.DRAMAccesses = h.dram.Accesses
+	s.DRAMRowHits = h.dram.RowHits
+	return s
+}

@@ -1,0 +1,365 @@
+package timing
+
+import (
+	"fmt"
+
+	"photon/internal/sim/emu"
+	"photon/internal/sim/event"
+	"photon/internal/sim/kernel"
+	"photon/internal/sim/mem"
+)
+
+// Machine simulates one kernel launch in detailed mode. Create a fresh
+// Machine per kernel (the event clock starts at zero); the memory hierarchy
+// is shared state passed in by the GPU driver.
+type Machine struct {
+	cfg    Config
+	engine *event.Engine
+	hier   *mem.Hierarchy
+	launch *kernel.Launch
+	obs    Observer
+
+	// stopDispatch, when non-nil, is polled before each workgroup dispatch;
+	// returning true stops detailed simulation of further workgroups (the
+	// sampling controllers switch modes this way).
+	stopDispatch func() bool
+
+	cus        []*cu
+	nextWG     int
+	liveGroups int
+	instCount  uint64
+	warpsDone  int
+	rrCU       int
+	gated      bool
+	gateTime   event.Time
+
+	progBase uint64 // synthetic address of the program for I-fetch
+}
+
+type cu struct {
+	id        int
+	freeSlots int
+	simds     []*simdUnit
+	rrSIMD    int
+}
+
+type simdUnit struct {
+	cu       *cu
+	nextFree event.Time
+	readyQ   []*warpCtx
+	pumpAt   event.Time // time of the latest scheduled pump, -1 if none
+}
+
+type warpCtx struct {
+	w    *emu.Warp
+	cu   *cu
+	simd *simdUnit
+	grp  *groupRT
+	info emu.StepInfo
+
+	started     bool
+	issueTime   event.Time
+	memDoneAt   event.Time
+	outstanding int
+
+	curBlock      int
+	curBlockEnter event.Time
+	inBlock       bool
+}
+
+type groupRT struct {
+	id        int
+	cu        *cu
+	warps     []*warpCtx
+	live      int // warps not yet retired
+	atBarrier int
+}
+
+// Result reports what the detailed mode simulated.
+type Result struct {
+	// EndTime is the drain time of the simulated portion (kernel execution
+	// time if Complete).
+	EndTime event.Time
+	// Complete is true when every workgroup was simulated in detail.
+	Complete bool
+	// NextWG is the first workgroup that was NOT simulated (== NumWorkgroups
+	// when Complete).
+	NextWG int
+	// InstCount is the number of warp instructions issued in detail.
+	InstCount uint64
+	// WarpsSimulated counts warps that retired in detailed mode.
+	WarpsSimulated int
+	// GateTime is when the dispatch gate first fired (== EndTime when it
+	// never did). Between GateTime and EndTime the machine drained its
+	// in-flight workgroups; prediction models backfill into that window.
+	GateTime event.Time
+}
+
+// NewMachine builds a detailed-mode machine over the given hierarchy.
+func NewMachine(cfg Config, hier *mem.Hierarchy, obs Observer) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.NumCUs != hier.Config().NumCUs {
+		panic(fmt.Sprintf("timing: CU count %d != hierarchy CU count %d",
+			cfg.NumCUs, hier.Config().NumCUs))
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	m := &Machine{cfg: cfg, engine: event.New(), hier: hier, obs: obs}
+	m.cus = make([]*cu, cfg.NumCUs)
+	for i := range m.cus {
+		c := &cu{id: i, freeSlots: cfg.WarpSlotsPerCU()}
+		c.simds = make([]*simdUnit, cfg.SIMDsPerCU)
+		for j := range c.simds {
+			c.simds[j] = &simdUnit{cu: c, pumpAt: -1}
+		}
+		m.cus[i] = c
+	}
+	return m
+}
+
+// SetStopDispatch installs the per-workgroup dispatch gate.
+func (m *Machine) SetStopDispatch(f func() bool) { m.stopDispatch = f }
+
+// Engine exposes the event engine (tests use it).
+func (m *Machine) Engine() *event.Engine { return m.engine }
+
+// Run simulates the launch until every dispatched workgroup drains. If the
+// dispatch gate stops new workgroups, the in-flight ones still complete.
+func (m *Machine) Run(l *kernel.Launch) (Result, error) {
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
+	if l.WarpsPerGroup > m.cfg.WarpSlotsPerCU() {
+		return Result{}, fmt.Errorf("timing: workgroup of %d warps exceeds CU capacity %d",
+			l.WarpsPerGroup, m.cfg.WarpSlotsPerCU())
+	}
+	m.launch = l
+	// Give each program a distinct, stable fetch-address region.
+	m.progBase = 1 << 40
+	m.nextWG = 0
+	m.dispatchPending(0)
+	m.engine.Run()
+	res := Result{
+		EndTime:        m.engine.Now(),
+		Complete:       m.nextWG >= l.NumWorkgroups,
+		NextWG:         m.nextWG,
+		InstCount:      m.instCount,
+		WarpsSimulated: m.warpsDone,
+		GateTime:       m.engine.Now(),
+	}
+	if m.gated {
+		res.GateTime = m.gateTime
+	}
+	if m.liveGroups != 0 {
+		return res, fmt.Errorf("timing: %s: %d workgroups still live after drain (deadlock?)",
+			l.Name, m.liveGroups)
+	}
+	return res, nil
+}
+
+// dispatchPending places as many pending workgroups as fit on the CUs.
+func (m *Machine) dispatchPending(now event.Time) {
+	for m.nextWG < m.launch.NumWorkgroups {
+		if m.stopDispatch != nil && m.stopDispatch() {
+			if !m.gated {
+				m.gated = true
+				m.gateTime = now
+			}
+			return
+		}
+		c := m.findFreeCU()
+		if c == nil {
+			return
+		}
+		m.placeGroup(c, m.nextWG, now)
+		m.nextWG++
+	}
+}
+
+func (m *Machine) findFreeCU() *cu {
+	for i := 0; i < len(m.cus); i++ {
+		c := m.cus[(m.rrCU+i)%len(m.cus)]
+		if c.freeSlots >= m.launch.WarpsPerGroup {
+			m.rrCU = (m.rrCU + i + 1) % len(m.cus)
+			return c
+		}
+	}
+	return nil
+}
+
+func (m *Machine) placeGroup(c *cu, wgID int, now event.Time) {
+	c.freeSlots -= m.launch.WarpsPerGroup
+	m.liveGroups++
+	grp := &groupRT{id: wgID, cu: c, live: m.launch.WarpsPerGroup}
+	var lds []byte
+	if m.launch.Program.LDSBytes > 0 {
+		lds = make([]byte, m.launch.Program.LDSBytes)
+	}
+	for i := 0; i < m.launch.WarpsPerGroup; i++ {
+		wc := &warpCtx{
+			w:    emu.NewWarp(m.launch, wgID*m.launch.WarpsPerGroup+i, lds),
+			cu:   c,
+			grp:  grp,
+			simd: c.simds[c.rrSIMD],
+		}
+		c.rrSIMD = (c.rrSIMD + 1) % len(c.simds)
+		grp.warps = append(grp.warps, wc)
+		m.warpReadyAt(wc, now+m.cfg.DispatchLatency)
+	}
+}
+
+// warpReadyAt enqueues the warp on its SIMD's ready queue at time t.
+func (m *Machine) warpReadyAt(wc *warpCtx, t event.Time) {
+	m.engine.Schedule(t, func(now event.Time) {
+		wc.simd.readyQ = append(wc.simd.readyQ, wc)
+		m.pump(wc.simd, now)
+	})
+}
+
+// pump issues from the SIMD's ready queue, respecting the one-issue-per-
+// occupancy-window port limit.
+func (m *Machine) pump(s *simdUnit, now event.Time) {
+	if len(s.readyQ) == 0 {
+		return
+	}
+	if s.nextFree > now {
+		if s.pumpAt != s.nextFree {
+			s.pumpAt = s.nextFree
+			m.engine.Schedule(s.nextFree, func(t event.Time) { m.pump(s, t) })
+		}
+		return
+	}
+	wc := s.readyQ[0]
+	copy(s.readyQ, s.readyQ[1:])
+	s.readyQ = s.readyQ[:len(s.readyQ)-1]
+	m.issue(wc, now)
+	if len(s.readyQ) > 0 && s.pumpAt != s.nextFree {
+		s.pumpAt = s.nextFree
+		m.engine.Schedule(s.nextFree, func(t event.Time) { m.pump(s, t) })
+	}
+}
+
+// issue executes one instruction of the warp and schedules its next
+// readiness.
+func (m *Machine) issue(wc *warpCtx, now event.Time) {
+	if !wc.started {
+		wc.started = true
+		wc.issueTime = now
+		m.obs.OnWarpStart(now, wc.w)
+	}
+	info := &wc.info
+	wc.w.Step(info)
+	m.instCount++
+
+	// Basic-block accounting: a block's execution interval spans from the
+	// issue of its first instruction to the issue of the next block's first
+	// instruction (paper, Observation 3).
+	var fetchDone event.Time
+	if info.EnteredB {
+		if wc.inBlock {
+			m.obs.OnBlockRetired(now, wc.w, wc.curBlock, wc.curBlockEnter, now)
+		}
+		wc.inBlock = true
+		wc.curBlock = info.BlockIdx
+		wc.curBlockEnter = now
+		// Charge an I-cache fetch once per block entry; its delay extends
+		// this instruction's effective completion.
+		fetchDone = m.hier.InstFetch(now, wc.cu.id, m.progBase+uint64(info.Inst.PC)*8)
+	}
+
+	class := info.Inst.Op.Class()
+	ready := now + m.cfg.ExecLatency[class]
+	latency := m.cfg.ExecLatency[class]
+	s := wc.simd
+	s.nextFree = now + m.cfg.IssueOccupancy[class]
+
+	switch info.Kind {
+	case emu.StepVectorMem:
+		done := m.hier.VectorAccess(now, wc.cu.id, info.Addrs, info.IsStore)
+		latency = done - now
+		wc.outstanding++
+		if done > wc.memDoneAt {
+			wc.memDoneAt = done
+		}
+		ready = now + m.cfg.VectorMemIssueCycles
+	case emu.StepAtomic:
+		done := m.hier.AtomicAccess(now, wc.cu.id, info.Addrs)
+		latency = done - now
+		wc.outstanding++
+		if done > wc.memDoneAt {
+			wc.memDoneAt = done
+		}
+		ready = now + m.cfg.VectorMemIssueCycles
+	case emu.StepScalarMem:
+		done := m.hier.ScalarAccess(now, wc.cu.id, info.SAddr)
+		latency = done - now
+		ready = done // blocking scalar load
+	case emu.StepWaitcnt:
+		if wc.outstanding > int(info.Inst.Offset) {
+			wc.outstanding = 0
+			if wc.memDoneAt > ready {
+				ready = wc.memDoneAt
+			}
+		}
+	case emu.StepBarrier:
+		m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
+		m.arriveBarrier(wc, now)
+		return
+	case emu.StepDone:
+		m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
+		m.retireWarp(wc, now)
+		return
+	}
+
+	if fetchDone > ready {
+		ready = fetchDone
+	}
+	m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
+	m.warpReadyAt(wc, ready)
+}
+
+func (m *Machine) arriveBarrier(wc *warpCtx, now event.Time) {
+	g := wc.grp
+	g.atBarrier++
+	if g.atBarrier >= g.live {
+		g.atBarrier = 0
+		for _, sib := range g.warps {
+			if !sib.w.Done && sib.w.AtBarrier {
+				sib.w.AtBarrier = false
+				m.warpReadyAt(sib, now+m.cfg.BarrierLatency)
+			}
+		}
+	}
+}
+
+func (m *Machine) retireWarp(wc *warpCtx, now event.Time) {
+	if wc.inBlock {
+		m.obs.OnBlockRetired(now, wc.w, wc.curBlock, wc.curBlockEnter, now)
+		wc.inBlock = false
+	}
+	m.obs.OnWarpRetired(now, wc.w, wc.issueTime)
+	m.warpsDone++
+	g := wc.grp
+	g.live--
+	if g.live > 0 {
+		// A retired warp no longer participates in barriers; release
+		// siblings if it was the last one missing.
+		if g.atBarrier >= g.live && g.atBarrier > 0 {
+			g.atBarrier = 0
+			for _, sib := range g.warps {
+				if !sib.w.Done && sib.w.AtBarrier {
+					sib.w.AtBarrier = false
+					m.warpReadyAt(sib, now+m.cfg.BarrierLatency)
+				}
+			}
+		}
+		return
+	}
+	// Workgroup complete: free the slots and admit pending work.
+	g.cu.freeSlots += m.launch.WarpsPerGroup
+	m.liveGroups--
+	m.dispatchPending(now)
+}

@@ -1,0 +1,97 @@
+// Package trace provides an execution tracer for the detailed timing model:
+// a timing.Observer that streams warp, basic-block and instruction events to
+// a writer, in the spirit of MGPUSim's visualization traces. Traces are the
+// tool of first resort when a kernel's timing behavior needs explaining
+// (why did the IPC dip? which block inflates a warp's runtime?).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"photon/internal/sim/emu"
+	"photon/internal/sim/event"
+	"photon/internal/sim/isa"
+	"photon/internal/sim/timing"
+)
+
+// Level selects how much detail the tracer records.
+type Level int
+
+const (
+	// LevelWarp records warp start/retire events only.
+	LevelWarp Level = iota
+	// LevelBlock additionally records basic-block retirements.
+	LevelBlock
+	// LevelInst additionally records every instruction issue. Very large.
+	LevelInst
+)
+
+// Tracer is a timing.Observer that writes one event per line:
+//
+//	W+ <time> warp=<id>                      warp start
+//	W- <time> warp=<id> issue=<t>            warp retire
+//	B  <time> warp=<id> block=<idx> dur=<d>  block retirement
+//	I  <time> cu=<id> warp=<id> fu=<class> lat=<l>
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	level Level
+
+	Warps  uint64
+	Blocks uint64
+	Insts  uint64
+}
+
+// New creates a tracer writing to w at the given level.
+func New(w io.Writer, level Level) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w), level: level}
+}
+
+// Flush drains buffered events; call it when simulation finishes.
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// OnWarpStart implements timing.Observer.
+func (t *Tracer) OnWarpStart(now event.Time, w *emu.Warp) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "W+ %d warp=%d\n", now, w.GlobalID)
+}
+
+// OnWarpRetired implements timing.Observer.
+func (t *Tracer) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Warps++
+	fmt.Fprintf(t.w, "W- %d warp=%d issue=%d insts=%d\n", now, w.GlobalID, issue, w.InstCount)
+}
+
+// OnBlockRetired implements timing.Observer.
+func (t *Tracer) OnBlockRetired(now event.Time, w *emu.Warp, blockIdx int, enter, exit event.Time) {
+	if t.level < LevelBlock {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Blocks++
+	fmt.Fprintf(t.w, "B  %d warp=%d block=%d dur=%d\n", now, w.GlobalID, blockIdx, exit-enter)
+}
+
+// OnInstIssued implements timing.Observer.
+func (t *Tracer) OnInstIssued(now event.Time, cuID int, w *emu.Warp, class isa.FUClass, lat event.Time) {
+	if t.level < LevelInst {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Insts++
+	fmt.Fprintf(t.w, "I  %d cu=%d warp=%d fu=%s lat=%d\n", now, cuID, w.GlobalID, class, lat)
+}
+
+var _ timing.Observer = (*Tracer)(nil)

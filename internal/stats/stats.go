@@ -1,0 +1,161 @@
+// Package stats provides measurement utilities shared by the experiments:
+// an IPC-over-time collector (the quantity PKA monitors and the paper's
+// Figure 1 plots), error and speedup metrics, and small numeric helpers.
+package stats
+
+import (
+	"math"
+	"time"
+
+	"photon/internal/sim/emu"
+	"photon/internal/sim/event"
+	"photon/internal/sim/isa"
+	"photon/internal/sim/timing"
+)
+
+// IPCCollector is a timing.Observer that accumulates instructions issued
+// into fixed-width time windows, yielding an IPC series (warp instructions
+// per cycle per window).
+type IPCCollector struct {
+	timing.NopObserver
+	Window event.Time
+	bins   []uint64
+	total  uint64
+}
+
+// NewIPCCollector creates a collector with the given window width in cycles.
+func NewIPCCollector(window event.Time) *IPCCollector {
+	if window <= 0 {
+		panic("stats: IPC window must be positive")
+	}
+	return &IPCCollector{Window: window}
+}
+
+// OnInstIssued implements timing.Observer.
+func (c *IPCCollector) OnInstIssued(now event.Time, cuID int, w *emu.Warp, class isa.FUClass, lat event.Time) {
+	idx := int(now / c.Window)
+	for idx >= len(c.bins) {
+		c.bins = append(c.bins, 0)
+	}
+	c.bins[idx]++
+	c.total++
+}
+
+// Total returns the total instructions observed.
+func (c *IPCCollector) Total() uint64 { return c.total }
+
+// Series returns the per-window IPC values.
+func (c *IPCCollector) Series() []float64 {
+	out := make([]float64, len(c.bins))
+	for i, b := range c.bins {
+		out[i] = float64(b) / float64(c.Window)
+	}
+	return out
+}
+
+// LatencyTable is a timing.Observer recording the mean observed latency per
+// functional-unit class; Photon's rare-basic-block interval model feeds on
+// it (Figure 9's "online instruction latency table").
+type LatencyTable struct {
+	timing.NopObserver
+	sum   [isa.FUClassCount]float64
+	count [isa.FUClassCount]uint64
+}
+
+// OnInstIssued implements timing.Observer.
+func (t *LatencyTable) OnInstIssued(now event.Time, cuID int, w *emu.Warp, class isa.FUClass, lat event.Time) {
+	t.sum[class] += float64(lat)
+	t.count[class]++
+}
+
+// Observe records one latency sample directly.
+func (t *LatencyTable) Observe(class isa.FUClass, lat event.Time) {
+	t.sum[class] += float64(lat)
+	t.count[class]++
+}
+
+// Mean returns the mean observed latency for the class and whether any
+// sample exists.
+func (t *LatencyTable) Mean(class isa.FUClass) (float64, bool) {
+	if t.count[class] == 0 {
+		return 0, false
+	}
+	return t.sum[class] / float64(t.count[class]), true
+}
+
+// Samples returns how many latencies were recorded for the class.
+func (t *LatencyTable) Samples(class isa.FUClass) uint64 { return t.count[class] }
+
+// AbsErrorPct returns the paper's accuracy metric:
+// |T_full - T_sampled| / T_full * 100.
+func AbsErrorPct(full, sampled float64) float64 {
+	if full == 0 {
+		return 0
+	}
+	return math.Abs(full-sampled) / full * 100
+}
+
+// Speedup returns WallTime_full / WallTime_sampled.
+func Speedup(full, sampled time.Duration) float64 {
+	if sampled <= 0 {
+		return math.Inf(1)
+	}
+	return float64(full) / float64(sampled)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// MultiObserver fans timing events out to several observers.
+type MultiObserver []timing.Observer
+
+// OnWarpStart implements timing.Observer.
+func (m MultiObserver) OnWarpStart(now event.Time, w *emu.Warp) {
+	for _, o := range m {
+		o.OnWarpStart(now, w)
+	}
+}
+
+// OnWarpRetired implements timing.Observer.
+func (m MultiObserver) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
+	for _, o := range m {
+		o.OnWarpRetired(now, w, issue)
+	}
+}
+
+// OnInstIssued implements timing.Observer.
+func (m MultiObserver) OnInstIssued(now event.Time, cuID int, w *emu.Warp, class isa.FUClass, lat event.Time) {
+	for _, o := range m {
+		o.OnInstIssued(now, cuID, w, class, lat)
+	}
+}
+
+// OnBlockRetired implements timing.Observer.
+func (m MultiObserver) OnBlockRetired(now event.Time, w *emu.Warp, blockIdx int, enter, exit event.Time) {
+	for _, o := range m {
+		o.OnBlockRetired(now, w, blockIdx, enter, exit)
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"photon/internal/sim/emu"
+	"photon/internal/sim/event"
+	"photon/internal/sim/isa"
+)
+
+func TestIPCCollector(t *testing.T) {
+	c := NewIPCCollector(100)
+	for i := 0; i < 50; i++ {
+		c.OnInstIssued(event.Time(i), 0, nil, isa.FUScalar, 1)
+	}
+	for i := 0; i < 10; i++ {
+		c.OnInstIssued(event.Time(250+i), 0, nil, isa.FUScalar, 1)
+	}
+	s := c.Series()
+	if len(s) != 3 {
+		t.Fatalf("series length %d, want 3", len(s))
+	}
+	if s[0] != 0.5 || s[1] != 0 || s[2] != 0.1 {
+		t.Fatalf("series = %v", s)
+	}
+	if c.Total() != 60 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestIPCCollectorRejectsBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero window")
+		}
+	}()
+	NewIPCCollector(0)
+}
+
+func TestLatencyTable(t *testing.T) {
+	var lt LatencyTable
+	if _, ok := lt.Mean(isa.FUVectorMem); ok {
+		t.Fatal("mean defined with no samples")
+	}
+	lt.Observe(isa.FUVectorMem, 100)
+	lt.Observe(isa.FUVectorMem, 300)
+	m, ok := lt.Mean(isa.FUVectorMem)
+	if !ok || m != 200 {
+		t.Fatalf("mean = %v, %v", m, ok)
+	}
+	if lt.Samples(isa.FUVectorMem) != 2 || lt.Samples(isa.FUScalar) != 0 {
+		t.Fatal("sample counts wrong")
+	}
+	lt.OnInstIssued(0, 0, nil, isa.FUScalar, 7)
+	if m, _ := lt.Mean(isa.FUScalar); m != 7 {
+		t.Fatalf("observer path mean = %v", m)
+	}
+}
+
+func TestAbsErrorPct(t *testing.T) {
+	if got := AbsErrorPct(100, 110); got != 10 {
+		t.Fatalf("AbsErrorPct = %v", got)
+	}
+	if got := AbsErrorPct(100, 90); got != 10 {
+		t.Fatalf("AbsErrorPct symmetric = %v", got)
+	}
+	if got := AbsErrorPct(0, 5); got != 0 {
+		t.Fatalf("zero baseline = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(time.Second, 0), 1) {
+		t.Fatal("zero denominator should be +Inf")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-input stats nonzero")
+	}
+}
+
+type recordObs struct {
+	starts, retires, insts, blocks int
+}
+
+func (r *recordObs) OnWarpStart(event.Time, *emu.Warp)               { r.starts++ }
+func (r *recordObs) OnWarpRetired(event.Time, *emu.Warp, event.Time) { r.retires++ }
+func (r *recordObs) OnInstIssued(event.Time, int, *emu.Warp, isa.FUClass, event.Time) {
+	r.insts++
+}
+func (r *recordObs) OnBlockRetired(event.Time, *emu.Warp, int, event.Time, event.Time) {
+	r.blocks++
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	a, b := &recordObs{}, &recordObs{}
+	m := MultiObserver{a, b}
+	m.OnWarpStart(0, nil)
+	m.OnWarpRetired(0, nil, 0)
+	m.OnInstIssued(0, 0, nil, isa.FUScalar, 0)
+	m.OnBlockRetired(0, nil, 0, 0, 0)
+	for _, o := range []*recordObs{a, b} {
+		if o.starts != 1 || o.retires != 1 || o.insts != 1 || o.blocks != 1 {
+			t.Fatalf("observer missed events: %+v", o)
+		}
+	}
+}

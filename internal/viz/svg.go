@@ -1,0 +1,187 @@
+// Package viz renders the experiment results as standalone SVG documents —
+// line charts for time series (the paper's Figure 1-style IPC plots) and
+// grouped bar charts for per-benchmark comparisons (the Figure 13-style
+// error/speedup panels) — using nothing but the standard library.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line in a line chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// palette cycles through stroke/fill colors.
+var palette = []string{"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b"}
+
+const (
+	chartW, chartH         = 720, 300
+	marginL, marginR       = 60, 20
+	marginT, marginB       = 30, 40
+	plotW                  = chartW - marginL - marginR
+	plotH                  = chartH - marginT - marginB
+	axisStyle              = `stroke="#444" stroke-width="1"`
+	labelStyle             = `font-family="sans-serif" font-size="11" fill="#333"`
+	titleStyle             = `font-family="sans-serif" font-size="14" fill="#111"`
+	gridStyle              = `stroke="#ddd" stroke-width="0.5"`
+	maxBarGroupsPerChart   = 40
+	defaultTicks           = 5
+	legendSwatch, legendDY = 10, 16
+)
+
+func maxOf(vals []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// LineChart renders one or more series as an SVG line chart. The x axis is
+// the sample index scaled by xScale (e.g. the IPC window width in cycles).
+func LineChart(title, xLabel, yLabel string, xScale float64, series []Series) string {
+	var sb strings.Builder
+	header(&sb, title)
+	yMax := 0.0
+	xMax := 0
+	for _, s := range series {
+		if m := maxOf(s.Values); m > yMax {
+			yMax = m
+		}
+		if len(s.Values) > xMax {
+			xMax = len(s.Values)
+		}
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	axes(&sb, xLabel, yLabel, float64(xMax)*xScale, yMax)
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j, v := range s.Values {
+			x := marginL + float64(j)/math.Max(float64(xMax-1), 1)*plotW
+			y := marginT + plotH - v/yMax*plotH
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			chartW-140, marginT+i*legendDY, legendSwatch, legendSwatch, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" %s>%s</text>`+"\n",
+			chartW-140+legendSwatch+4, marginT+i*legendDY+9, labelStyle, escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// BarGroup is one x-axis position of a grouped bar chart.
+type BarGroup struct {
+	Label string
+	// Values are one bar per series, aligned with the chart's SeriesNames.
+	Values []float64
+}
+
+// BarChart renders a grouped bar chart (e.g. error% per benchmark per
+// runner).
+func BarChart(title, yLabel string, seriesNames []string, groups []BarGroup) string {
+	if len(groups) > maxBarGroupsPerChart {
+		groups = groups[:maxBarGroupsPerChart]
+	}
+	var sb strings.Builder
+	header(&sb, title)
+	yMax := 0.0
+	for _, g := range groups {
+		if m := maxOf(g.Values); m > yMax {
+			yMax = m
+		}
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	axes(&sb, "", yLabel, 0, yMax)
+	groupW := float64(plotW) / math.Max(float64(len(groups)), 1)
+	barW := groupW / float64(len(seriesNames)+1)
+	for gi, g := range groups {
+		x0 := marginL + float64(gi)*groupW
+		for si, v := range g.Values {
+			if si >= len(seriesNames) {
+				break
+			}
+			h := v / yMax * plotH
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.2f</title></rect>`+"\n",
+				x0+float64(si)*barW+barW/2, marginT+plotH-h, barW*0.9, h,
+				palette[si%len(palette)], escape(g.Label), escape(seriesNames[si]), v)
+		}
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" %s text-anchor="middle">%s</text>`+"\n",
+			x0+groupW/2, chartH-marginB+14, labelStyle, escape(g.Label))
+	}
+	for si, name := range seriesNames {
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			chartW-140, marginT+si*legendDY, legendSwatch, legendSwatch, palette[si%len(palette)])
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" %s>%s</text>`+"\n",
+			chartW-140+legendSwatch+4, marginT+si*legendDY+9, labelStyle, escape(name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func header(sb *strings.Builder, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	fmt.Fprintf(sb, `<text x="%d" y="18" %s>%s</text>`+"\n", marginL, titleStyle, escape(title))
+}
+
+func axes(sb *strings.Builder, xLabel, yLabel string, xMax, yMax float64) {
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" %s/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH, axisStyle)
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" %s/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH, axisStyle)
+	for i := 0; i <= defaultTicks; i++ {
+		frac := float64(i) / defaultTicks
+		y := marginT + plotH - frac*plotH
+		fmt.Fprintf(sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" %s/>`+"\n",
+			marginL, y, marginL+plotW, y, gridStyle)
+		fmt.Fprintf(sb, `<text x="%d" y="%.1f" %s text-anchor="end">%s</text>`+"\n",
+			marginL-5, y+4, labelStyle, formatTick(frac*yMax))
+		if xMax > 0 {
+			x := marginL + frac*plotW
+			fmt.Fprintf(sb, `<text x="%.1f" y="%d" %s text-anchor="middle">%s</text>`+"\n",
+				x, marginT+plotH+14, labelStyle, formatTick(frac*xMax))
+		}
+	}
+	if yLabel != "" {
+		fmt.Fprintf(sb, `<text x="14" y="%d" %s transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			marginT+plotH/2, labelStyle, marginT+plotH/2, escape(yLabel))
+	}
+	if xLabel != "" {
+		fmt.Fprintf(sb, `<text x="%d" y="%d" %s text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, chartH-8, labelStyle, escape(xLabel))
+	}
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

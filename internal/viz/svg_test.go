@@ -1,0 +1,73 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestLineChartWellFormed(t *testing.T) {
+	svg := LineChart("IPC over time", "cycles", "IPC", 500, []Series{
+		{Name: "ReLU", Values: []float64{1, 5, 9, 9.5, 9.4, 9.6}},
+		{Name: "MM", Values: []float64{2, 8, 3, 7, 2, 9}},
+	})
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Fatalf("SVG not well-formed XML: %v", err)
+	}
+	for _, want := range []string{"<svg", "polyline", "ReLU", "MM", "IPC over time"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	svg := BarChart("Sampling error", "err%", []string{"pka", "photon"}, []BarGroup{
+		{Label: "MM", Values: []float64{87.4, 6.9}},
+		{Label: "AES", Values: []float64{67.0, 2.2}},
+	})
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Fatalf("SVG not well-formed XML: %v", err)
+	}
+	if got := strings.Count(svg, "<rect"); got < 4 {
+		t.Errorf("too few rects: %d", got)
+	}
+	for _, want := range []string{"pka", "photon", "MM", "AES"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg := BarChart(`a<b & "c"`, "y", []string{"<s>"}, []BarGroup{{Label: "g&g", Values: []float64{1}}})
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "<s>") {
+		t.Fatal("unescaped markup in labels")
+	}
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Fatalf("escaped SVG still malformed: %v", err)
+	}
+}
+
+func TestEmptyInputsDoNotPanic(t *testing.T) {
+	if svg := LineChart("t", "", "", 1, nil); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty line chart truncated")
+	}
+	if svg := BarChart("t", "", nil, nil); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty bar chart truncated")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 3: "3", 2.5: "2.50", 1500: "1.5k", 2500000: "2.5M",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"photon/internal/sim/emu"
+	"photon/internal/sim/kernel"
+)
+
+func runAll(t *testing.T, n *Net) {
+	t.Helper()
+	for _, l := range n.App().Launches {
+		if _, err := emu.RunKernelFunctional(l); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func (t Tensor) read(n *Net, c, y, x int) float32 {
+	return n.App().Mem.ReadF32(t.elemAddr(c, y, x))
+}
+
+// hostConv replays the kernel's exact accumulation order (ci, ky, kx) in
+// float32.
+func hostConv(n *Net, in Tensor, w []float32, co, k, stride, pad int, relu bool, c, oy, ox int) float32 {
+	var acc float32
+	for ci := 0; ci < in.C; ci++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				iy := oy*stride - pad + ky
+				ix := ox*stride - pad + kx
+				var v float32
+				if iy >= -in.Pad && iy < in.H+in.Pad && ix >= -in.Pad && ix < in.W+in.Pad {
+					v = n.App().Mem.ReadF32(in.elemAddr(ci, iy, ix))
+				}
+				wv := w[((c*in.C+ci)*k+ky)*k+kx]
+				acc = v*wv + acc
+			}
+		}
+	}
+	if relu && acc < 0 {
+		acc = 0
+	}
+	return acc
+}
+
+func TestConvMatchesHostReference(t *testing.T) {
+	n := NewNet("t", 1)
+	in := n.Input(4, 8, 8, 1)
+	const co, k = 8, 3
+	out := n.Conv("conv", in, co, k, 1, 1, 0, true)
+	wBase := n.App().Launches[0].Args[1]
+	w := n.App().Mem.ReadFloats(uint64(wBase), co*in.C*k*k)
+	runAll(t, n)
+	for c := 0; c < co; c++ {
+		for y := 0; y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				want := hostConv(n, in, w, co, k, 1, 1, true, c, y, x)
+				got := out.read(n, c, y, x)
+				if got != want {
+					t.Fatalf("conv out[%d][%d][%d] = %v, want %v", c, y, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestConvStride2AndSurplusPad(t *testing.T) {
+	n := NewNet("t", 2)
+	in := n.Input(4, 8, 8, 2) // surplus halo: pad 2 vs conv pad 1
+	out := n.Conv("conv", in, 8, 3, 2, 1, 0, false)
+	if out.H != 4 || out.W != 4 {
+		t.Fatalf("stride-2 output %dx%d, want 4x4", out.H, out.W)
+	}
+	wBase := n.App().Launches[0].Args[1]
+	w := n.App().Mem.ReadFloats(uint64(wBase), 8*4*3*3)
+	runAll(t, n)
+	for c := 0; c < 8; c++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				want := hostConv(n, in, w, 8, 3, 2, 1, false, c, y, x)
+				if got := out.read(n, c, y, x); got != want {
+					t.Fatalf("out[%d][%d][%d] = %v, want %v", c, y, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxPoolMatchesHostReference(t *testing.T) {
+	n := NewNet("t", 3)
+	in := n.Input(8, 8, 8, 0)
+	out := n.MaxPool("pool", in, 2, 2, 0, 0)
+	runAll(t, n)
+	for c := 0; c < 8; c++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				want := float32(math.Inf(-1))
+				for ky := 0; ky < 2; ky++ {
+					for kx := 0; kx < 2; kx++ {
+						if v := in.read(n, c, 2*y+ky, 2*x+kx); v > want {
+							want = v
+						}
+					}
+				}
+				if got := out.read(n, c, y, x); got != want {
+					t.Fatalf("pool out[%d][%d][%d] = %v, want %v", c, y, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFCMatchesHostReference(t *testing.T) {
+	n := NewNet("t", 4)
+	in := n.Input(8, 2, 2, 0) // 32 inputs
+	const outN = 70           // spans two warps, last one partially masked
+	out := n.FC("fc", in, outN, true)
+	l := n.App().Launches[0]
+	w := n.App().Mem.ReadFloats(uint64(l.Args[1]), 32*outN)
+	bias := n.App().Mem.ReadFloats(uint64(l.Args[3]), outN)
+	x := n.App().Mem.ReadFloats(in.Base, 32)
+	runAll(t, n)
+	for o := 0; o < outN; o++ {
+		var acc float32
+		for i := 0; i < 32; i++ {
+			acc = w[i*outN+o]*x[i] + acc
+		}
+		acc += bias[o]
+		if acc < 0 {
+			acc = 0
+		}
+		got := n.App().Mem.ReadF32(out.Base + uint64(4*o))
+		if got != acc {
+			t.Fatalf("fc out[%d] = %v, want %v", o, got, acc)
+		}
+	}
+}
+
+func TestAddReLUHandlesDifferentPads(t *testing.T) {
+	n := NewNet("t", 5)
+	a := n.Input(4, 4, 4, 1)
+	b := n.Input(4, 4, 4, 0)
+	out := n.AddReLU("add", a, b, 1)
+	runAll(t, n)
+	for c := 0; c < 4; c++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				want := a.read(n, c, y, x) + b.read(n, c, y, x)
+				if want < 0 {
+					want = 0
+				}
+				if got := out.read(n, c, y, x); got != want {
+					t.Fatalf("add out[%d][%d][%d] = %v, want %v", c, y, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	n := NewNet("t", 6)
+	in := n.Input(8, 2, 2, 1)
+	out := n.GlobalAvgPool("gap", in)
+	runAll(t, n)
+	for c := 0; c < 8; c++ {
+		var s float32
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				s = s + in.read(n, c, y, x)
+			}
+		}
+		want := s * 0.25
+		got := n.App().Mem.ReadF32(out.Base + uint64(4*c))
+		if got != want {
+			t.Fatalf("gap[%d] = %v, want %v", c, got, want)
+		}
+	}
+}
+
+var tinyScale = Scale{Input: 32, ChannelDiv: 16}
+
+func TestVGG16Structure(t *testing.T) {
+	app, err := BuildVGG(16, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 convs + 5 pools + 3 fcs.
+	if len(app.Launches) != 21 {
+		t.Fatalf("VGG-16 has %d kernels, want 21", len(app.Launches))
+	}
+	if app.Launches[0].Name != "conv1-1" || app.Launches[20].Name != "fc8" {
+		t.Fatalf("unexpected layer names %s..%s", app.Launches[0].Name, app.Launches[20].Name)
+	}
+}
+
+func TestVGG19HasMoreKernels(t *testing.T) {
+	a16, err := BuildVGG(16, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a19, err := BuildVGG(19, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a19.Launches) != len(a16.Launches)+3 {
+		t.Fatalf("VGG-19 kernels = %d, VGG-16 = %d", len(a19.Launches), len(a16.Launches))
+	}
+}
+
+func TestVGGUnknownDepth(t *testing.T) {
+	if _, err := BuildVGG(13, tinyScale); err == nil {
+		t.Fatal("VGG-13 accepted")
+	}
+}
+
+func TestVGG16RunsFunctionally(t *testing.T) {
+	app, err := BuildVGG(16, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range app.Launches {
+		if _, err := emu.RunKernelFunctional(l); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+	// The classifier output must be non-degenerate.
+	last := app.Launches[len(app.Launches)-1]
+	outBase := uint64(last.Args[2])
+	var nonzero int
+	for i := 0; i < 1000; i++ {
+		if app.Mem.ReadF32(outBase+uint64(4*i)) != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 500 {
+		t.Fatalf("only %d/1000 logits nonzero", nonzero)
+	}
+}
+
+func TestResNetVariantsStructure(t *testing.T) {
+	// Kernel counts: stem(2) + per block (2 or 3 convs + add, +1 downsample
+	// on stage transitions) + gap + fc.
+	cases := map[int]struct{ blocks, convsPerBlock, downs int }{
+		18:  {8, 2, 3},
+		34:  {16, 2, 3},
+		50:  {16, 3, 4},
+		101: {33, 3, 4},
+		152: {50, 3, 4},
+	}
+	for depth, c := range cases {
+		app, err := BuildResNet(depth, tinyScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 + c.blocks*(c.convsPerBlock+1) + c.downs + 2
+		if len(app.Launches) != want {
+			t.Errorf("ResNet-%d has %d kernels, want %d", depth, len(app.Launches), want)
+		}
+	}
+}
+
+func TestResNet18RunsFunctionally(t *testing.T) {
+	app, err := BuildResNet(18, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range app.Launches {
+		if _, err := emu.RunKernelFunctional(l); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestResNet50RunsFunctionally(t *testing.T) {
+	app, err := BuildResNet(50, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range app.Launches {
+		if _, err := emu.RunKernelFunctional(l); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestResNetUnknownDepth(t *testing.T) {
+	if _, err := BuildResNet(99, tinyScale); err == nil {
+		t.Fatal("ResNet-99 accepted")
+	}
+}
+
+func TestIdenticalLayersShareProgram(t *testing.T) {
+	app, err := BuildVGG(16, tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv5-1 and conv5-2 have identical shapes (same channels, spatial
+	// size and output pad) -> same program pointer.
+	byName := map[string]*kernel.Launch{}
+	for _, l := range app.Launches {
+		byName[l.Name] = l
+	}
+	if byName["conv5-1"].Program != byName["conv5-2"].Program {
+		t.Fatal("identical conv layers do not share a program")
+	}
+	if byName["conv3-2"].Program != byName["conv3-3"].Program {
+		t.Fatal("stage-mate conv layers do not share a program")
+	}
+	if byName["conv1-1"].Program == byName["conv2-1"].Program {
+		t.Fatal("different conv layers share a program")
+	}
+}
+
+func TestGeometryLanePacking(t *testing.T) {
+	g := geometry(8, 8) // deep layer: 8 rows of 8 -> one warp per channel
+	if g.rowsPerWarp != 8 || g.warpsPerCh != 1 {
+		t.Fatalf("geometry(8,8) = %+v", g)
+	}
+	g = geometry(64, 64)
+	if g.rowsPerWarp != 1 || g.warpsPerCh != 64 {
+		t.Fatalf("geometry(64,64) = %+v", g)
+	}
+	g = geometry(2, 2) // tiny map: lanes beyond H*W masked
+	if g.rowsPerWarp != 32 || g.warpsPerCh != 1 {
+		t.Fatalf("geometry(2,2) = %+v", g)
+	}
+}
+
+func TestDefaultScaleChannels(t *testing.T) {
+	sc := DefaultScale()
+	if sc.ch(64) != 16 || sc.ch(512) != 128 || sc.ch(16) != 8 {
+		t.Fatalf("scale mapping wrong: %d %d %d", sc.ch(64), sc.ch(512), sc.ch(16))
+	}
+}
