@@ -3,14 +3,23 @@
 // prints rows with kernel-time error vs full-detailed mode and host
 // wall-time speedup.
 //
+// Each experiment is executed as a job graph on a bounded worker pool
+// (-parallel, default one worker per CPU); full-detailed baselines are
+// memoized in a cache shared across all experiments of the invocation, so
+// each (config, bench, size) cell is simulated exactly once per run. Rows
+// are printed in plan order regardless of completion order, so output is
+// stable for any worker count (-fixed-wall additionally pins wall times,
+// making output byte-identical).
+//
 //	photon-bench -exp fig13
-//	photon-bench -exp all -quick
+//	photon-bench -exp all -quick -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"photon/internal/harness"
@@ -18,16 +27,21 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fig13|fig14|fig15|fig16|fig17|offline|waitcnt|extensions|baselines|all")
-		quick    = flag.Bool("quick", false, "smallest problem size per benchmark only")
-		prNodes  = flag.Int("pr-nodes", 64*1024, "PageRank node count for fig16")
-		jsonPath = flag.String("json", "", "also write every comparison as JSON lines to this file")
+		exp       = flag.String("exp", "all", "comma-separated experiments: table1|table2|fig13|fig14|fig15|fig16|fig17|offline|waitcnt|extensions|baselines|all")
+		quick     = flag.Bool("quick", false, "smallest problem size per benchmark only")
+		prNodes   = flag.Int("pr-nodes", 64*1024, "PageRank node count for fig16")
+		jsonPath  = flag.String("json", "", "also write every comparison as JSON lines to this file")
+		parallel  = flag.Int("parallel", 0, "worker count for experiment jobs (<= 0: one per CPU)")
+		fixedWall = flag.Bool("fixed-wall", false, "pin wall times in output so runs diff byte-identically")
 	)
 	flag.Parse()
 
 	o := harness.DefaultOptions()
 	o.Quick = *quick
 	o.PRNodes = *prNodes
+	o.Parallel = *parallel
+	o.FixedWall = *fixedWall
+	o.Baselines = harness.NewBaselineCache()
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -44,50 +58,66 @@ func main() {
 			fmt.Fprintf(os.Stderr, "photon-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s regenerated in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		// Progress metadata goes to stderr so stdout stays diffable across
+		// runs and worker counts (wall time is nondeterministic).
+		fmt.Fprintf(os.Stderr, "(%s regenerated in %s)\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
+	known := map[string]bool{
+		"all": true, "table1": true, "table2": true, "fig13": true, "fig14": true,
+		"fig15": true, "fig16": true, "fig17": true, "offline": true,
+		"waitcnt": true, "extensions": true, "baselines": true,
+	}
+	wants := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "photon-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		wants[name] = true
+	}
+	want := func(name string) bool { return wants["all"] || wants[name] }
+
 	w := os.Stdout
-	all := *exp == "all"
-	if all || *exp == "table1" {
+	if want("table1") {
 		harness.Table1(w)
 		fmt.Println()
 	}
-	if all || *exp == "table2" {
+	if want("table2") {
 		harness.Table2(w)
 		fmt.Println()
 	}
-	if all || *exp == "fig13" {
+	if want("fig13") {
 		run("fig13", func() error { return harness.Fig13(w, o) })
 	}
-	if all || *exp == "fig14" {
+	if want("fig14") {
 		run("fig14", func() error { return harness.Fig14(w, o) })
 	}
-	if all || *exp == "fig15" {
+	if want("fig15") {
 		run("fig15", func() error { return harness.Fig15(w, o) })
 	}
-	if all || *exp == "fig16" {
+	if want("fig16") {
 		run("fig16", func() error { return harness.Fig16(w, o) })
 	}
-	if all || *exp == "fig17" {
+	if want("fig17") {
 		run("fig17", func() error { return harness.Fig17(w, o) })
 	}
-	if all || *exp == "offline" {
+	if want("offline") {
 		run("offline", func() error { return harness.Offline(w, o) })
 	}
-	if all || *exp == "waitcnt" {
+	if want("waitcnt") {
 		run("waitcnt", func() error { return harness.WaitcntAblation(w, o) })
 	}
-	if all || *exp == "extensions" {
+	if want("extensions") {
 		run("extensions", func() error { return harness.ExtensionsExperiment(w, o) })
 	}
-	if all || *exp == "baselines" {
+	if want("baselines") {
 		run("baselines", func() error { return harness.Baselines(w, o) })
 	}
-	switch *exp {
-	case "all", "table1", "table2", "fig13", "fig14", "fig15", "fig16", "fig17", "offline", "waitcnt", "extensions", "baselines":
-	default:
-		fmt.Fprintf(os.Stderr, "photon-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if n := o.Baselines.Simulated(); n > 0 {
+		fmt.Fprintf(os.Stderr, "(baseline cache: %d full runs simulated, %d reused)\n",
+			n, o.Baselines.Hits())
 	}
 }

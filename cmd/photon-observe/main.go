@@ -22,9 +22,10 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "figure: fig1|fig2|fig3|fig4|fig6|fig8|fig11|all")
-		arch   = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
-		svgDir = flag.String("svg", "", "also render figures as SVG into this directory (fig1)")
+		exp      = flag.String("exp", "all", "figure: fig1|fig2|fig3|fig4|fig6|fig8|fig11|all")
+		arch     = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
+		svgDir   = flag.String("svg", "", "also render figures as SVG into this directory (fig1)")
+		parallel = flag.Int("parallel", 0, "worker count for per-figure jobs (<= 0: one per CPU)")
 	)
 	flag.Parse()
 
@@ -43,22 +44,22 @@ func main() {
 	}
 	known := false
 	if all || *exp == "fig1" {
-		fail(harness.Fig1(w, cfg))
+		fail(harness.Fig1(w, cfg, *parallel))
 		if *svgDir != "" {
-			fail(renderFig1SVG(*svgDir, cfg))
+			fail(renderFig1SVG(*svgDir, cfg, *parallel))
 		}
 		known = true
 	}
 	if all || *exp == "fig2" {
-		fail(harness.Fig2(w, cfg))
+		fail(harness.Fig2(w, cfg, *parallel))
 		known = true
 	}
 	if all || *exp == "fig3" {
-		fail(harness.Fig3(w, cfg))
+		fail(harness.Fig3(w, cfg, *parallel))
 		known = true
 	}
 	if all || *exp == "fig4" {
-		fail(harness.Fig4(w, cfg))
+		fail(harness.Fig4(w, cfg, *parallel))
 		known = true
 	}
 	if all || *exp == "fig6" {
@@ -67,11 +68,11 @@ func main() {
 		known = true
 	}
 	if all || *exp == "fig8" {
-		fail(harness.Fig8(w))
+		fail(harness.Fig8(w, *parallel))
 		known = true
 	}
 	if all || *exp == "fig11" {
-		fail(harness.Fig11(w))
+		fail(harness.Fig11(w, *parallel))
 		known = true
 	}
 	if !known {
@@ -81,11 +82,11 @@ func main() {
 }
 
 // renderFig1SVG writes the Figure 1 IPC-over-time line chart.
-func renderFig1SVG(dir string, cfg gpu.Config) error {
+func renderFig1SVG(dir string, cfg gpu.Config, parallel int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	names, data, err := harness.Fig1Data(cfg)
+	names, data, err := harness.Fig1Data(cfg, parallel)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"sync"
+
+	"photon/internal/sim/gpu"
+	"photon/internal/sim/isa"
+	"photon/internal/workloads"
+)
+
+// BaselineKey identifies one full-detailed baseline run. Two experiments
+// that sweep the same (config, bench, size, block options) cell measure the
+// exact same deterministic simulation, so the result can be shared.
+type BaselineKey struct {
+	Config string
+	Bench  string
+	Size   int
+	Block  isa.BlockOptions
+}
+
+// BaselineCache memoizes full-detailed baseline runs across experiments.
+// Full mode dominates a sweep's wall time (it is the very bottleneck Photon
+// attacks), and fig13/fig15/baselines all re-measure the same cells; with
+// the cache each cell is simulated exactly once per process and every other
+// consumer blocks on — then shares — that one run. Safe for concurrent use.
+type BaselineCache struct {
+	mu      sync.Mutex
+	entries map[BaselineKey]*baselineEntry
+
+	simulated int // entries actually run (cache misses)
+	hits      int // lookups served from an existing entry
+}
+
+type baselineEntry struct {
+	once sync.Once
+	res  AppResult
+	err  error
+}
+
+// NewBaselineCache returns an empty cache.
+func NewBaselineCache() *BaselineCache {
+	return &BaselineCache{entries: make(map[BaselineKey]*baselineEntry)}
+}
+
+// Full returns the full-detailed AppResult for key, simulating it with
+// build() on first use. Concurrent callers of the same key block until the
+// single simulation finishes; callers of different keys proceed in parallel.
+// A nil cache simply runs the baseline uncached.
+func (c *BaselineCache) Full(key BaselineKey, cfg gpu.Config, build func() (*workloads.App, error)) (AppResult, error) {
+	if c == nil {
+		return runFull(cfg, build)
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &baselineEntry{}
+		c.entries[key] = e
+		c.simulated++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = runFull(cfg, build)
+	})
+	return e.res, e.err
+}
+
+func runFull(cfg gpu.Config, build func() (*workloads.App, error)) (AppResult, error) {
+	app, err := build()
+	if err != nil {
+		return AppResult{}, err
+	}
+	return RunApp(cfg, app, gpu.FullRunner{})
+}
+
+// Simulated reports how many distinct baselines were actually simulated.
+func (c *BaselineCache) Simulated() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simulated
+}
+
+// Hits reports how many lookups were served without a new simulation.
+func (c *BaselineCache) Hits() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}

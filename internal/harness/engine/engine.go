@@ -1,0 +1,146 @@
+// Package engine executes independent experiment jobs on a bounded worker
+// pool while keeping the harness's output deterministic: results are handed
+// back to the caller in plan order, regardless of the order in which workers
+// finish them. It is the execution layer behind every photon-bench sweep —
+// each experiment enumerates its (config × bench × size × runner) cells as
+// tasks, and the engine provides the parallelism, per-job panic recovery,
+// error aggregation, and cancellation on first hard failure.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Task produces the value of one job. Tasks must be independent of each
+// other; the engine may run them in any order and in any interleaving.
+// Tasks should honor ctx cancellation when they are long-running, but the
+// engine never depends on it: a cancelled task that runs to completion is
+// merely wasted work.
+type Task[T any] func(ctx context.Context) (T, error)
+
+// Workers resolves a worker-count request: values <= 0 mean "one worker per
+// available CPU" (GOMAXPROCS), and the count is clamped to the task count so
+// small plans do not spawn idle goroutines.
+func Workers(requested, tasks int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > tasks {
+		n = tasks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// result is one task's outcome. done is closed exactly once, when the task
+// finished or was skipped due to cancellation.
+type result[T any] struct {
+	val     T
+	err     error
+	skipped bool
+	done    chan struct{}
+}
+
+// Run executes tasks on a pool of Workers(parallel, len(tasks)) goroutines
+// and calls emit(i, value) for each successful task in plan order (ascending
+// index), from the calling goroutine — so emit needs no locking and the
+// overall output is byte-identical for any worker count.
+//
+// Failure semantics mirror a serial loop that stops at the first error:
+//   - a task error (or recovered panic) cancels the run; workers finish
+//     in-flight tasks but start no new ones;
+//   - results with indices after the first failed index are not emitted;
+//   - all errors that did occur are aggregated via errors.Join, each
+//     prefixed with its task index;
+//   - an emit error cancels the run and is returned the same way.
+func Run[T any](ctx context.Context, parallel int, tasks []Task[T], emit func(i int, v T) error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]result[T], len(tasks))
+	for i := range results {
+		results[i].done = make(chan struct{})
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	workers := Workers(parallel, len(tasks))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				r := &results[i]
+				if ctx.Err() != nil {
+					r.skipped = true
+					close(r.done)
+					continue
+				}
+				r.val, r.err = runOne(ctx, tasks[i])
+				if r.err != nil {
+					cancel()
+				}
+				close(r.done)
+			}
+		}()
+	}
+	go func() {
+		defer close(indices)
+		for i := range tasks {
+			indices <- i
+		}
+	}()
+	defer wg.Wait()
+
+	var errs []error
+	for i := range tasks {
+		<-results[i].done
+		r := &results[i]
+		switch {
+		case r.skipped:
+			// A job behind the first failure that never started.
+		case r.err != nil:
+			errs = append(errs, fmt.Errorf("job %d: %w", i, r.err))
+		case len(errs) == 0:
+			if err := emit(i, r.val); err != nil {
+				cancel()
+				errs = append(errs, fmt.Errorf("emit %d: %w", i, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// runOne invokes a task with panic recovery, so one crashing job surfaces as
+// an error (with its stack) instead of killing the whole process.
+func runOne[T any](ctx context.Context, task Task[T]) (val T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return task(ctx)
+}
+
+// Collect runs tasks like Run and returns the successful values in plan
+// order. It is the convenience form for callers that post-process the whole
+// result set instead of streaming it.
+func Collect[T any](ctx context.Context, parallel int, tasks []Task[T]) ([]T, error) {
+	out := make([]T, 0, len(tasks))
+	err := Run(ctx, parallel, tasks, func(_ int, v T) error {
+		out = append(out, v)
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4, 100); got != 4 {
+		t.Fatalf("Workers(4, 100) = %d", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want clamp to task count", got)
+	}
+	if got := Workers(0, 100); got < 1 {
+		t.Fatalf("Workers(0, 100) = %d, want >= 1", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Fatalf("Workers(-1, 0) = %d, want 1", got)
+	}
+}
+
+// TestRunEmitsInPlanOrder makes late-indexed tasks finish first and checks
+// the emit order is still ascending.
+func TestRunEmitsInPlanOrder(t *testing.T) {
+	const n = 32
+	tasks := make([]Task[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func(context.Context) (int, error) {
+			// Early plan indices sleep longest, inverting completion order.
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return i * 10, nil
+		}
+	}
+	var order []int
+	err := Run(context.Background(), 8, tasks, func(i int, v int) error {
+		if v != i*10 {
+			t.Errorf("emit(%d) got value %d", i, v)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("emit order %v not plan order", order)
+		}
+	}
+	if len(order) != n {
+		t.Fatalf("emitted %d of %d", len(order), n)
+	}
+}
+
+// TestRunActuallyParallel proves tasks overlap: 4 tasks block on a shared
+// barrier that only opens once all 4 are running, which deadlocks unless the
+// pool runs them concurrently.
+func TestRunActuallyParallel(t *testing.T) {
+	const n = 4
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	tasks := make([]Task[struct{}], n)
+	for i := range tasks {
+		tasks[i] = func(context.Context) (struct{}, error) {
+			barrier.Done()
+			barrier.Wait()
+			return struct{}{}, nil
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(context.Background(), n, tasks, func(int, struct{}) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool did not run tasks concurrently")
+	}
+}
+
+// TestRunStopsAtFirstError mirrors serial semantics: results before the
+// failing index are emitted, results after it are not, and queued tasks are
+// skipped once the run is cancelled.
+func TestRunStopsAtFirstError(t *testing.T) {
+	const n = 64
+	boom := errors.New("boom")
+	var started atomic.Int32
+	tasks := make([]Task[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func(context.Context) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		}
+	}
+	var emitted []int
+	err := Run(context.Background(), 2, tasks, func(i int, v int) error {
+		emitted = append(emitted, i)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Fatalf("error should name the failing job index: %v", err)
+	}
+	for _, i := range emitted {
+		if i >= 3 {
+			t.Fatalf("emitted index %d after failure at 3", i)
+		}
+	}
+	if int(started.Load()) == n {
+		t.Fatalf("cancellation did not skip any of the %d queued tasks", n)
+	}
+}
+
+// TestRunRecoversPanics converts a panicking job into an aggregated error.
+func TestRunRecoversPanics(t *testing.T) {
+	tasks := []Task[int]{
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { panic("kaboom") },
+	}
+	err := Run(context.Background(), 2, tasks, func(int, int) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+	if !strings.Contains(err.Error(), "engine_test.go") {
+		t.Fatalf("panic error should carry a stack trace: %.120s", err.Error())
+	}
+}
+
+// TestRunEmitErrorCancels stops the sweep when the caller's emit fails.
+func TestRunEmitErrorCancels(t *testing.T) {
+	const n = 32
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(context.Context) (int, error) { return i, nil }
+	}
+	sinkErr := errors.New("sink full")
+	calls := 0
+	err := Run(context.Background(), 4, tasks, func(i int, v int) error {
+		calls++
+		if i == 1 {
+			return sinkErr
+		}
+		return nil
+	})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("emit called %d times, want 2 (stop after failing emit)", calls)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	tasks := make([]Task[string], 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(context.Context) (string, error) {
+			time.Sleep(time.Duration(10-i) * time.Millisecond)
+			return fmt.Sprintf("v%d", i), nil
+		}
+	}
+	got, err := Collect(context.Background(), 4, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Collect[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestRunEmptyPlan(t *testing.T) {
+	if err := Run(context.Background(), 4, nil, func(int, int) error {
+		t.Fatal("emit on empty plan")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

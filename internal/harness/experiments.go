@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"photon/internal/core"
+	"photon/internal/harness/engine"
 	"photon/internal/sim/gpu"
 	"photon/internal/sim/isa"
 	"photon/internal/workloads"
@@ -25,8 +27,17 @@ type Options struct {
 	// JSON, when non-nil, additionally receives every comparison as a
 	// JSON-lines Record (the artifact's structured output format).
 	JSON *JSONSink
-	// experiment labels JSON records; set internally per figure.
-	experiment string
+	// Parallel is the worker count for each experiment's job graph;
+	// values <= 0 mean one worker per CPU (GOMAXPROCS).
+	Parallel int
+	// FixedWall pins host wall times to constants in emitted rows and
+	// records, making output byte-identical across runs and worker counts
+	// (used when diffing serial vs parallel sweeps).
+	FixedWall bool
+	// Baselines shares memoized full-detailed runs across experiments.
+	// When nil, each sweep falls back to a private cache, so baselines are
+	// still simulated at most once within one experiment.
+	Baselines *BaselineCache
 }
 
 // DefaultOptions returns the full-experiment configuration.
@@ -47,103 +58,68 @@ func (o Options) sizes(spec workloads.Spec) []int {
 	return spec.Sizes
 }
 
-// runComparisons runs each factory against a fresh full baseline for one
-// (benchmark, size) and streams rows.
-func runComparisons(w io.Writer, o Options, cfg gpu.Config, bench string, size int,
-	build func() (*workloads.App, error), factories []RunnerFactory) error {
-	appFull, err := build()
-	if err != nil {
-		return err
-	}
-	full, err := RunApp(cfg, appFull, gpu.FullRunner{})
-	if err != nil {
-		return err
-	}
-	emit := func(c Comparison) error {
-		PrintRow(w, c)
-		return o.JSON.Emit(ToRecord(o.experiment, c, true))
-	}
-	if err := emit(Comparison{Bench: bench, Size: size, Runner: "full", Full: full, Sampled: full}); err != nil {
-		return err
-	}
-	for _, f := range factories {
-		app, err := build()
-		if err != nil {
-			return err
-		}
-		res, err := RunApp(cfg, app, f.New(cfg))
-		if err != nil {
-			return err
-		}
-		if err := emit(Comparison{Bench: bench, Size: size, Runner: f.Name, Full: full, Sampled: res}); err != nil {
-			return err
+// specPoints enumerates the sweep cells of a benchmark registry under o's
+// size policy.
+func (o Options) specPoints(specs []workloads.Spec) []Point {
+	var pts []Point
+	for _, spec := range specs {
+		spec := spec
+		for _, size := range o.sizes(spec) {
+			size := size
+			pts = append(pts, Point{
+				Bench: spec.Abbr,
+				Size:  size,
+				Build: func() (*workloads.App, error) { return spec.Build(size) },
+			})
 		}
 	}
-	return nil
+	return pts
 }
 
 // Fig13 regenerates Figure 13: kernel time and wall time for full detailed
 // MGPUSim, PKA and Photon on the R9 Nano across the single-kernel
 // benchmarks and problem sizes.
 func Fig13(w io.Writer, o Options) error {
-	o.experiment = "fig13"
 	fmt.Fprintln(w, "# Figure 13: R9 Nano — Full vs PKA vs Photon (single-kernel benchmarks)")
 	PrintHeader(w)
-	cfg := gpu.R9Nano()
-	factories := []RunnerFactory{
-		PKAFactory(),
-		PhotonFactory("photon", o.Params, core.AllLevels()),
-	}
-	for _, spec := range workloads.Table2() {
-		for _, size := range o.sizes(spec) {
-			build := func() (*workloads.App, error) { return spec.Build(size) }
-			if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return o.RunSweep(w, Sweep{
+		Experiment: "fig13",
+		Config:     gpu.R9Nano(),
+		Factories: []RunnerFactory{
+			PKAFactory(),
+			PhotonFactory("photon", o.Params, core.AllLevels()),
+		},
+		Points: o.specPoints(workloads.Table2()),
+	})
 }
 
 // Fig14 regenerates Figure 14: Full vs Photon on the MI100 configuration.
 func Fig14(w io.Writer, o Options) error {
-	o.experiment = "fig14"
 	fmt.Fprintln(w, "# Figure 14: MI100 — Full vs Photon (micro-architecture independence)")
 	PrintHeader(w)
-	cfg := gpu.MI100()
-	factories := []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())}
-	for _, spec := range workloads.Table2() {
-		for _, size := range o.sizes(spec) {
-			build := func() (*workloads.App, error) { return spec.Build(size) }
-			if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return o.RunSweep(w, Sweep{
+		Experiment: "fig14",
+		Config:     gpu.MI100(),
+		Factories:  []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())},
+		Points:     o.specPoints(workloads.Table2()),
+	})
 }
 
 // Fig15 regenerates Figure 15: the effect of each sampling level —
 // BB-sampling only, warp-sampling only, and full Photon.
 func Fig15(w io.Writer, o Options) error {
-	o.experiment = "fig15"
 	fmt.Fprintln(w, "# Figure 15: sampling levels — BB-only, warp-only, Photon (R9 Nano)")
 	PrintHeader(w)
-	cfg := gpu.R9Nano()
-	factories := []RunnerFactory{
-		PhotonFactory("bb-sampling", o.Params, core.Levels{BB: true}),
-		PhotonFactory("warp-sampling", o.Params, core.Levels{Warp: true}),
-		PhotonFactory("photon", o.Params, core.AllLevels()),
-	}
-	for _, spec := range workloads.Table2() {
-		for _, size := range o.sizes(spec) {
-			build := func() (*workloads.App, error) { return spec.Build(size) }
-			if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return o.RunSweep(w, Sweep{
+		Experiment: "fig15",
+		Config:     gpu.R9Nano(),
+		Factories: []RunnerFactory{
+			PhotonFactory("bb-sampling", o.Params, core.Levels{BB: true}),
+			PhotonFactory("warp-sampling", o.Params, core.Levels{Warp: true}),
+			PhotonFactory("photon", o.Params, core.AllLevels()),
+		},
+		Points: o.specPoints(workloads.Table2()),
+	})
 }
 
 // realWorldBuilds lists the Figure 16 applications.
@@ -173,49 +149,77 @@ func realWorldBuilds(o Options) []struct {
 // Fig16 regenerates Figure 16: Full vs Photon on the real-world
 // applications (PageRank, VGG, ResNet).
 func Fig16(w io.Writer, o Options) error {
-	o.experiment = "fig16"
 	fmt.Fprintln(w, "# Figure 16: real-world applications — Full vs Photon (R9 Nano)")
 	PrintHeader(w)
-	cfg := gpu.R9Nano()
-	factories := []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())}
+	var pts []Point
 	for _, a := range realWorldBuilds(o) {
-		if err := runComparisons(w, o, cfg, a.Name, 0, a.Build, factories); err != nil {
-			return err
-		}
+		pts = append(pts, Point{Bench: a.Name, Build: a.Build})
 	}
-	return nil
+	return o.RunSweep(w, Sweep{
+		Experiment: "fig16",
+		Config:     gpu.R9Nano(),
+		Factories:  []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())},
+		Points:     pts,
+	})
 }
 
 // Fig17 regenerates Figure 17: per-layer error and speedup of VGG-16 under
-// kernel-sampling, kernel+warp-sampling and full Photon.
+// kernel-sampling, kernel+warp-sampling and full Photon. The full VGG-16
+// baseline comes from the shared cache (the same cell Figure 16 measures),
+// and the three sampling variants run as parallel jobs.
 func Fig17(w io.Writer, o Options) error {
+	const experiment = "fig17"
 	fmt.Fprintln(w, "# Figure 17: VGG-16 per-layer error and speedup by sampling level (R9 Nano)")
 	cfg := gpu.R9Nano()
 	build := func() (*workloads.App, error) { return dnn.BuildVGG(16, o.DNNScale) }
-	appFull, err := build()
-	if err != nil {
-		return err
-	}
-	full, err := RunApp(cfg, appFull, gpu.FullRunner{})
-	if err != nil {
-		return err
-	}
 	variants := []RunnerFactory{
 		PhotonFactory("kernel", o.Params, core.Levels{Kernel: true}),
 		PhotonFactory("kernel+warp", o.Params, core.Levels{Kernel: true, Warp: true}),
 		PhotonFactory("photon", o.Params, core.AllLevels()),
 	}
-	results := make([]AppResult, len(variants))
-	for i, f := range variants {
-		app, err := build()
-		if err != nil {
-			return err
-		}
-		results[i], err = RunApp(cfg, app, f.New(cfg))
-		if err != nil {
-			return err
-		}
+	key := BaselineKey{Config: cfg.Name, Bench: "VGG-16"}
+	cache := o.Baselines
+	if cache == nil {
+		cache = NewBaselineCache()
 	}
+	tasks := []engine.Task[Comparison]{
+		func(context.Context) (Comparison, error) {
+			full, err := cache.Full(key, cfg, build)
+			if err != nil {
+				return Comparison{}, err
+			}
+			return Comparison{Bench: "VGG-16", Runner: "full", Full: full, Sampled: full}, nil
+		},
+	}
+	for _, f := range variants {
+		f := f
+		tasks = append(tasks, func(context.Context) (Comparison, error) {
+			full, err := cache.Full(key, cfg, build)
+			if err != nil {
+				return Comparison{}, err
+			}
+			app, err := build()
+			if err != nil {
+				return Comparison{}, err
+			}
+			res, err := RunApp(cfg, app, f.New(cfg))
+			if err != nil {
+				return Comparison{}, err
+			}
+			return Comparison{Bench: "VGG-16", Runner: f.Name, Full: full, Sampled: res}, nil
+		})
+	}
+	var comparisons []Comparison
+	err := engine.Run(context.Background(), o.Parallel, tasks, func(_ int, c Comparison) error {
+		c = o.normalize(c)
+		comparisons = append(comparisons, c)
+		return o.JSON.Emit(ToRecord(experiment, c, true))
+	})
+	if err != nil {
+		return err
+	}
+	full, results := comparisons[0].Full, comparisons[1:]
+
 	fmt.Fprintf(w, "%-10s %14s", "layer", "full_cycles")
 	for _, f := range variants {
 		fmt.Fprintf(w, " %12s %6s", f.Name+"_err%", "mode")
@@ -224,7 +228,7 @@ func Fig17(w io.Writer, o Options) error {
 	for k, fr := range full.PerKernel {
 		fmt.Fprintf(w, "%-10s %14d", fr.Name, fr.SimTime)
 		for i := range variants {
-			pr := results[i].PerKernel[k]
+			pr := results[i].Sampled.PerKernel[k]
 			errPct := 100.0
 			if fr.SimTime > 0 {
 				diff := float64(pr.SimTime - fr.SimTime)
@@ -239,14 +243,12 @@ func Fig17(w io.Writer, o Options) error {
 	}
 	fmt.Fprintf(w, "%-10s %14d", "TOTAL", full.KernelTime)
 	for i := range variants {
-		c := Comparison{Full: full, Sampled: results[i]}
-		fmt.Fprintf(w, " %12.2f %6s", c.ErrPct(), "-")
+		fmt.Fprintf(w, " %12.2f %6s", results[i].ErrPct(), "-")
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "whole-inference speedups:")
 	for i, f := range variants {
-		c := Comparison{Full: full, Sampled: results[i]}
-		fmt.Fprintf(w, " %s=%.2fx", f.Name, c.Speedup())
+		fmt.Fprintf(w, " %s=%.2fx", f.Name, results[i].Speedup())
 	}
 	fmt.Fprintln(w)
 	return nil
@@ -302,7 +304,9 @@ func Table2(w io.Writer) {
 
 // Offline regenerates the paper's Section 6.3 online/offline tradeoff: the
 // first Photon run of VGG-16 populates the analysis store; the second run
-// reuses it, shaving the online-analysis cost off the wall time.
+// reuses it, shaving the online-analysis cost off the wall time. The two
+// runs are inherently sequential (the second consumes the first's store),
+// so this experiment does not use the job engine.
 func Offline(w io.Writer, o Options) error {
 	fmt.Fprintln(w, "# Section 6.3: online vs offline Photon (VGG-16 wall time)")
 	cfg := gpu.R9Nano()
@@ -339,10 +343,9 @@ func Offline(w io.Writer, o Options) error {
 // WaitcntAblation evaluates the paper's future-work basic-block variant that
 // also ends blocks at s_waitcnt, on the two workloads Observation 3 uses.
 func WaitcntAblation(w io.Writer, o Options) error {
-	o.experiment = "waitcnt"
 	fmt.Fprintln(w, "# Ablation: basic blocks split at s_waitcnt (paper future work)")
 	PrintHeader(w)
-	cfg := gpu.R9Nano()
+	var pts []Point
 	for _, bench := range []struct {
 		name string
 		size int
@@ -355,8 +358,9 @@ func WaitcntAblation(w io.Writer, o Options) error {
 		}
 		for _, split := range []bool{false, true} {
 			split := split
+			size := bench.size
 			build := func() (*workloads.App, error) {
-				app, err := spec.Build(bench.size)
+				app, err := spec.Build(size)
 				if err != nil {
 					return nil, err
 				}
@@ -369,56 +373,62 @@ func WaitcntAblation(w io.Writer, o Options) error {
 			if split {
 				name = "bb-waitcnt"
 			}
-			f := []RunnerFactory{{Name: name, New: func(cfg gpu.Config) gpu.Runner {
-				return core.MustNew(cfg, o.Params, core.Levels{BB: true})
-			}}}
-			if err := runComparisons(w, o, cfg, bench.name, bench.size, build, f); err != nil {
-				return err
-			}
+			pts = append(pts, Point{
+				Bench: bench.name,
+				Size:  size,
+				Build: build,
+				Block: isa.BlockOptions{SplitAtWaitcnt: split},
+				Factories: []RunnerFactory{{Name: name, New: func(cfg gpu.Config) gpu.Runner {
+					return core.MustNew(cfg, o.Params, core.Levels{BB: true})
+				}}},
+			})
 		}
 	}
-	return nil
+	return o.RunSweep(w, Sweep{
+		Experiment: "waitcnt",
+		Config:     gpu.R9Nano(),
+		Points:     pts,
+	})
 }
 
 // ExtensionsExperiment runs Photon on the extension workloads (histogram,
 // KMeans, BFS) — atomics-heavy programs outside the paper's Table 2 — to
 // check the methodology generalizes beyond the original suite.
 func ExtensionsExperiment(w io.Writer, o Options) error {
-	o.experiment = "extensions"
 	fmt.Fprintln(w, "# Extensions: Photon on atomics workloads (HIST, KMEANS, BFS)")
 	PrintHeader(w)
-	cfg := gpu.R9Nano()
-	factories := []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())}
-	for _, spec := range workloads.Extensions() {
-		for _, size := range o.sizes(spec) {
-			build := func() (*workloads.App, error) { return spec.Build(size) }
-			if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return o.RunSweep(w, Sweep{
+		Experiment: "extensions",
+		Config:     gpu.R9Nano(),
+		Factories:  []RunnerFactory{PhotonFactory("photon", o.Params, core.AllLevels())},
+		Points:     o.specPoints(workloads.Extensions()),
+	})
 }
 
 // Baselines compares all sampled methodologies side by side — PKA, the
 // TBPoint reconstruction, and Photon — on one representative size per
 // benchmark (an extension beyond the paper's Full-vs-PKA-vs-Photon figure).
 func Baselines(w io.Writer, o Options) error {
-	o.experiment = "baselines"
 	fmt.Fprintln(w, "# Baselines: PKA vs TBPoint vs Photon (R9 Nano, one size per benchmark)")
 	PrintHeader(w)
-	cfg := gpu.R9Nano()
-	factories := []RunnerFactory{
-		PKAFactory(),
-		TBPointFactory(),
-		PhotonFactory("photon", o.Params, core.AllLevels()),
-	}
+	var pts []Point
 	for _, spec := range workloads.Table2() {
+		spec := spec
 		size := spec.Sizes[len(spec.Sizes)-1]
-		build := func() (*workloads.App, error) { return spec.Build(size) }
-		if err := runComparisons(w, o, cfg, spec.Abbr, size, build, factories); err != nil {
-			return err
-		}
+		pts = append(pts, Point{
+			Bench: spec.Abbr,
+			Size:  size,
+			Build: func() (*workloads.App, error) { return spec.Build(size) },
+		})
 	}
-	return nil
+	return o.RunSweep(w, Sweep{
+		Experiment: "baselines",
+		Config:     gpu.R9Nano(),
+		Factories: []RunnerFactory{
+			PKAFactory(),
+			TBPointFactory(),
+			PhotonFactory("photon", o.Params, core.AllLevels()),
+		},
+		Points: pts,
+	})
 }

@@ -123,10 +123,10 @@ func TestObservationDistributions(t *testing.T) {
 		t.Skip("functional sweeps take a few seconds")
 	}
 	var buf bytes.Buffer
-	if err := Fig8(&buf); err != nil {
+	if err := Fig8(&buf, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := Fig11(&buf); err != nil {
+	if err := Fig11(&buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -65,8 +66,11 @@ func ToRecord(experiment string, c Comparison, perKernel bool) Record {
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // JSONSink streams records as JSON lines. A nil sink discards records, so
-// callers can emit unconditionally.
+// callers can emit unconditionally. Emit is safe for concurrent use: one
+// sink is shared by every job of an experiment's job graph, and the mutex
+// keeps records whole (one line each) no matter which goroutine emits.
 type JSONSink struct {
+	mu  sync.Mutex
 	enc *json.Encoder
 }
 
@@ -83,5 +87,7 @@ func (s *JSONSink) Emit(r Record) error {
 	if s == nil || s.enc == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.enc.Encode(r)
 }

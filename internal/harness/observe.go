@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"photon/internal/core"
 	"photon/internal/core/bbv"
 	"photon/internal/core/detect"
+	"photon/internal/harness/engine"
 	"photon/internal/sim/emu"
 	"photon/internal/sim/event"
 	"photon/internal/sim/gpu"
@@ -44,31 +46,43 @@ func mustBuild(app *workloads.App, err error) *workloads.App {
 // Fig1IPCWindow is the IPC sampling window for the Figure 1 series.
 const Fig1IPCWindow = 500
 
-// Fig1Data runs the Figure 1 kernels in full detailed mode and returns
-// their IPC series, in presentation order.
-func Fig1Data(cfg gpu.Config) ([]string, map[string][]float64, error) {
+// Fig1Data runs the Figure 1 kernels in full detailed mode (one engine job
+// per kernel, each on its own GPU instance) and returns their IPC series, in
+// presentation order.
+func Fig1Data(cfg gpu.Config, parallel int) ([]string, map[string][]float64, error) {
 	names := []string{"ReLU", "MM"}
 	apps := map[string]*workloads.App{
 		"ReLU": mustBuild(workloads.BuildReLU(obsReLUWarps)),
 		"MM":   mustBuild(workloads.BuildMM(obsMMWarps)),
 	}
-	out := make(map[string][]float64, len(names))
-	for _, name := range names {
-		col := stats.NewIPCCollector(Fig1IPCWindow)
-		g := gpu.New(cfg)
-		if _, err := g.RunDetailed(apps[name].Launches[0], col, nil); err != nil {
-			return nil, nil, err
+	tasks := make([]engine.Task[[]float64], len(names))
+	for i, name := range names {
+		name := name
+		tasks[i] = func(context.Context) ([]float64, error) {
+			col := stats.NewIPCCollector(Fig1IPCWindow)
+			g := gpu.New(cfg)
+			if _, err := g.RunDetailed(apps[name].Launches[0], col, nil); err != nil {
+				return nil, err
+			}
+			return col.Series(), nil
 		}
-		out[name] = col.Series()
+	}
+	series, err := engine.Collect(context.Background(), parallel, tasks)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string][]float64, len(names))
+	for i, name := range names {
+		out[name] = series[i]
 	}
 	return names, out, nil
 }
 
 // Fig1 prints the IPC series of a stabilizing kernel (ReLU) and a
 // fluctuating one (MM), reproducing Observation 1/2.
-func Fig1(w io.Writer, cfg gpu.Config) error {
+func Fig1(w io.Writer, cfg gpu.Config, parallel int) error {
 	fmt.Fprintf(w, "# Figure 1: IPC over time (window = %d cycles)\n", Fig1IPCWindow)
-	names, data, err := Fig1Data(cfg)
+	names, data, err := Fig1Data(cfg, parallel)
 	if err != nil {
 		return err
 	}
@@ -160,75 +174,83 @@ func sampleBlocks(cfg gpu.Config, app *workloads.App) (*blockSampler, error) {
 	return s, nil
 }
 
+// obsBenchNames is the regular/irregular pair Figures 2-4 analyze.
+var obsBenchNames = []string{"MM", "SpMV"}
+
+// sampleObsBenches runs the detailed block/warp sampling for MM and SpMV as
+// parallel engine jobs (each builds its own app and GPU), returning the
+// samplers in presentation order.
+func sampleObsBenches(cfg gpu.Config, parallel int) ([]*blockSampler, error) {
+	builds := []func() (*workloads.App, error){
+		func() (*workloads.App, error) { return workloads.BuildMM(obsMMWarps) },
+		func() (*workloads.App, error) { return workloads.BuildSPMV(obsSPMVWarps) },
+	}
+	tasks := make([]engine.Task[*blockSampler], len(builds))
+	for i, build := range builds {
+		build := build
+		tasks[i] = func(context.Context) (*blockSampler, error) {
+			app, err := build()
+			if err != nil {
+				return nil, err
+			}
+			return sampleBlocks(cfg, app)
+		}
+	}
+	return engine.Collect(context.Background(), parallel, tasks)
+}
+
 // Fig2 prints the execution-time series and global variance of the
 // dominating basic block for MM (regular) and SpMV (irregular).
-func Fig2(w io.Writer, cfg gpu.Config) error {
+func Fig2(w io.Writer, cfg gpu.Config, parallel int) error {
 	fmt.Fprintln(w, "# Figure 2: dominating basic block execution time over retirement order")
-	for _, bench := range []struct {
-		name string
-		app  *workloads.App
-	}{
-		{"MM", mustBuild(workloads.BuildMM(obsMMWarps))},
-		{"SpMV", mustBuild(workloads.BuildSPMV(obsSPMVWarps))},
-	} {
-		s, err := sampleBlocks(cfg, bench.app)
-		if err != nil {
-			return err
-		}
+	samplers, err := sampleObsBenches(cfg, parallel)
+	if err != nil {
+		return err
+	}
+	for i, s := range samplers {
+		name := obsBenchNames[i]
 		durs := make([]float64, len(s.BlockPairs))
 		for i, p := range s.BlockPairs {
 			durs[i] = float64(p[1] - p[0])
 		}
 		fmt.Fprintf(w, "%s: block %d, %d executions, mean %.1f cycles, variance %.1f (normalized %.3f)\n",
-			bench.name, s.targetBlock, len(durs), stats.Mean(durs), stats.Variance(durs), cv(durs))
+			name, s.targetBlock, len(durs), stats.Mean(durs), stats.Variance(durs), cv(durs))
 		fmt.Fprintf(w, "  exec time over retirement order: %s\n", sparkline(durs, 60))
-		printSeries(w, bench.name+"-bbtime", durs, 20)
+		printSeries(w, name+"-bbtime", durs, 20)
 	}
 	return nil
 }
 
 // Fig3 fits the least-squares line of the dominating block's issue/retired
 // relationship (slope should approach 1 once contention stabilizes).
-func Fig3(w io.Writer, cfg gpu.Config) error {
+func Fig3(w io.Writer, cfg gpu.Config, parallel int) error {
 	fmt.Fprintln(w, "# Figure 3: dominating basic block issue vs retired time (least-squares)")
-	for _, bench := range []struct {
-		name string
-		app  *workloads.App
-	}{
-		{"MM", mustBuild(workloads.BuildMM(obsMMWarps))},
-		{"SpMV", mustBuild(workloads.BuildSPMV(obsSPMVWarps))},
-	} {
-		s, err := sampleBlocks(cfg, bench.app)
-		if err != nil {
-			return err
-		}
+	samplers, err := sampleObsBenches(cfg, parallel)
+	if err != nil {
+		return err
+	}
+	for i, s := range samplers {
 		a, b := fitPairs(s.BlockPairs)
 		aTail, _ := fitTail(s.BlockPairs, 2048)
 		fmt.Fprintf(w, "%s: retired = %.4f * issue + %.1f over %d samples; tail-window slope %.4f\n",
-			bench.name, a, b, len(s.BlockPairs), aTail)
+			obsBenchNames[i], a, b, len(s.BlockPairs), aTail)
 	}
 	return nil
 }
 
 // Fig4 does the same at warp level: regular applications' slope approaches
 // 1, irregular ones deviate.
-func Fig4(w io.Writer, cfg gpu.Config) error {
+func Fig4(w io.Writer, cfg gpu.Config, parallel int) error {
 	fmt.Fprintln(w, "# Figure 4: warp issue vs retired time (least-squares)")
-	for _, bench := range []struct {
-		name string
-		app  *workloads.App
-	}{
-		{"MM", mustBuild(workloads.BuildMM(obsMMWarps))},
-		{"SpMV", mustBuild(workloads.BuildSPMV(obsSPMVWarps))},
-	} {
-		s, err := sampleBlocks(cfg, bench.app)
-		if err != nil {
-			return err
-		}
+	samplers, err := sampleObsBenches(cfg, parallel)
+	if err != nil {
+		return err
+	}
+	for i, s := range samplers {
 		a, b := fitPairs(s.WarpPairs)
 		aTail, _ := fitTail(s.WarpPairs, 1024)
 		fmt.Fprintf(w, "%s: retired = %.4f * issue + %.1f over %d warps; tail-window slope %.4f\n",
-			bench.name, a, b, len(s.WarpPairs), aTail)
+			obsBenchNames[i], a, b, len(s.WarpPairs), aTail)
 	}
 	return nil
 }
@@ -284,6 +306,10 @@ func Fig6(w io.Writer, cfg gpu.Config, sc dnn.Scale) error {
 		g    bbv.GPUBBV
 		ipc  float64
 	}
+	// The layer kernels must run serially: they share the app's memory
+	// image, and layer k+1 reads layer k's outputs (both the functional
+	// analysis and the detailed run execute stores). This loop is therefore
+	// a chain, not a fan-out — the parallel axis here would be whole apps.
 	var infos []kinfo
 	g := gpu.New(cfg)
 	for _, l := range app.Launches {
@@ -330,9 +356,9 @@ func Fig6(w io.Writer, cfg gpu.Config, sc dnn.Scale) error {
 
 // Fig8 compares the basic-block instruction distribution of all warps vs a
 // 1% sample for SC (regular) and SpMV (irregular).
-func Fig8(w io.Writer) error {
+func Fig8(w io.Writer, parallel int) error {
 	fmt.Fprintln(w, "# Figure 8: basic-block distribution — all warps vs 1% sample")
-	return distributionReport(w, func(app *workloads.App, fraction float64) (map[string]float64, error) {
+	return distributionReport(w, parallel, func(app *workloads.App, fraction float64) (map[string]float64, error) {
 		prof, err := core.AnalyzeOnline(app.Launches[0], fraction)
 		if err != nil {
 			return nil, err
@@ -349,9 +375,9 @@ func Fig8(w io.Writer) error {
 }
 
 // Fig11 compares warp-type distributions of all warps vs a 1% sample.
-func Fig11(w io.Writer) error {
+func Fig11(w io.Writer, parallel int) error {
 	fmt.Fprintln(w, "# Figure 11: warp-type distribution — all warps vs 1% sample")
-	return distributionReport(w, func(app *workloads.App, fraction float64) (map[string]float64, error) {
+	return distributionReport(w, parallel, func(app *workloads.App, fraction float64) (map[string]float64, error) {
 		prof, err := core.AnalyzeOnline(app.Launches[0], fraction)
 		if err != nil {
 			return nil, err
@@ -364,27 +390,39 @@ func Fig11(w io.Writer) error {
 	})
 }
 
-func distributionReport(w io.Writer,
+func distributionReport(w io.Writer, parallel int,
 	dist func(app *workloads.App, fraction float64) (map[string]float64, error)) error {
-	for _, bench := range []struct {
+	benches := []struct {
 		name  string
 		build func() (*workloads.App, error)
 	}{
 		{"SC", func() (*workloads.App, error) { return workloads.BuildSC(obsSCWarps) }},
 		{"SpMV", func() (*workloads.App, error) { return workloads.BuildSPMV(obsSPMVWarps) }},
-	} {
-		app, err := bench.build()
-		if err != nil {
-			return err
+	}
+	// One job per (bench, fraction). Each job builds a private app: the
+	// functional analysis executes stores into the app's memory image, so
+	// two jobs must never share one.
+	fractions := []float64{1.0, 0.01}
+	var tasks []engine.Task[map[string]float64]
+	for _, bench := range benches {
+		build := bench.build
+		for _, fraction := range fractions {
+			fraction := fraction
+			tasks = append(tasks, func(context.Context) (map[string]float64, error) {
+				app, err := build()
+				if err != nil {
+					return nil, err
+				}
+				return dist(app, fraction)
+			})
 		}
-		all, err := dist(app, 1.0)
-		if err != nil {
-			return err
-		}
-		sample, err := dist(app, 0.01)
-		if err != nil {
-			return err
-		}
+	}
+	dists, err := engine.Collect(context.Background(), parallel, tasks)
+	if err != nil {
+		return err
+	}
+	for bi, bench := range benches {
+		all, sample := dists[bi*len(fractions)], dists[bi*len(fractions)+1]
 		fmt.Fprintf(w, "%s: %d entries (all) vs %d entries (1%% sample); L1 divergence %.4f\n",
 			bench.name, len(all), len(sample), l1Divergence(all, sample))
 		keys := make([]string, 0, len(all))

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"photon/internal/harness/engine"
+	"photon/internal/sim/gpu"
+	"photon/internal/sim/isa"
+	"photon/internal/workloads"
+)
+
+// Point is one (benchmark, size) cell of a sweep. Build must return a fresh
+// App on every call: each job simulates its own instance, which is what
+// keeps the job graph free of shared mutable state.
+type Point struct {
+	Bench string
+	Size  int
+	Build func() (*workloads.App, error)
+	// Block tags the baseline cache key when Build applies non-default
+	// basic-block options (the waitcnt ablation), so those baselines are
+	// never conflated with default-compiled ones.
+	Block isa.BlockOptions
+	// Factories, when non-nil, overrides the sweep-level factory list for
+	// this point.
+	Factories []RunnerFactory
+}
+
+// Sweep is one experiment expressed declaratively: a GPU configuration, the
+// points to measure, and the sampled runners to compare against the
+// full-detailed baseline at every point. The harness turns a Sweep into a
+// job graph — one job for the baseline row and one per (point, factory) —
+// and executes it on the engine's worker pool.
+type Sweep struct {
+	Experiment string
+	Config     gpu.Config
+	Factories  []RunnerFactory
+	Points     []Point
+}
+
+// RunSweep executes the sweep's jobs on up to o.Parallel workers (GOMAXPROCS
+// when <= 0) and writes one text row plus one JSON record per job. Output is
+// emitted in plan order regardless of completion order, so the rows — and
+// with FixedWall set, the bytes — are identical for any worker count. Full
+// baselines are memoized in o.Baselines (or a sweep-private cache when nil):
+// each (config, bench, size, block-options) cell is simulated exactly once
+// and shared by every job and every later sweep that needs it.
+func (o Options) RunSweep(w io.Writer, s Sweep) error {
+	cache := o.Baselines
+	if cache == nil {
+		cache = NewBaselineCache()
+	}
+	var tasks []engine.Task[Comparison]
+	for _, pt := range s.Points {
+		pt := pt
+		key := BaselineKey{Config: s.Config.Name, Bench: pt.Bench, Size: pt.Size, Block: pt.Block}
+		baseline := func() (AppResult, error) { return cache.Full(key, s.Config, pt.Build) }
+		tasks = append(tasks, func(context.Context) (Comparison, error) {
+			full, err := baseline()
+			if err != nil {
+				return Comparison{}, err
+			}
+			return Comparison{Bench: pt.Bench, Size: pt.Size, Runner: "full", Full: full, Sampled: full}, nil
+		})
+		factories := pt.Factories
+		if factories == nil {
+			factories = s.Factories
+		}
+		for _, f := range factories {
+			f := f
+			tasks = append(tasks, func(context.Context) (Comparison, error) {
+				full, err := baseline()
+				if err != nil {
+					return Comparison{}, err
+				}
+				app, err := pt.Build()
+				if err != nil {
+					return Comparison{}, err
+				}
+				res, err := RunApp(s.Config, app, f.New(s.Config))
+				if err != nil {
+					return Comparison{}, err
+				}
+				return Comparison{Bench: pt.Bench, Size: pt.Size, Runner: f.Name, Full: full, Sampled: res}, nil
+			})
+		}
+	}
+	return engine.Run(context.Background(), o.Parallel, tasks, func(_ int, c Comparison) error {
+		c = o.normalize(c)
+		PrintRow(w, c)
+		return o.JSON.Emit(ToRecord(s.Experiment, c, true))
+	})
+}
+
+// normalize applies the FixedWall pinning to a comparison before emission.
+func (o Options) normalize(c Comparison) Comparison {
+	if !o.FixedWall {
+		return c
+	}
+	c.Full = fixWall(c.Full)
+	c.Sampled = fixWall(c.Sampled)
+	return c
+}
+
+// fixWall pins host wall times to constants so rows and records are
+// byte-identical across runs and worker counts (wall time is the one
+// nondeterministic quantity the harness reports). Per-app walls become 1 ms,
+// making every speedup exactly 1.00; per-kernel walls become zero.
+func fixWall(r AppResult) AppResult {
+	r.Wall = time.Millisecond
+	pk := make([]KernelRow, len(r.PerKernel))
+	copy(pk, r.PerKernel)
+	for i := range pk {
+		pk[i].Wall = 0
+	}
+	r.PerKernel = pk
+	return r
+}
