@@ -23,18 +23,34 @@ import (
 	"time"
 
 	"photon/internal/harness"
+	"photon/internal/obs"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments: table1|table2|fig13|fig14|fig15|fig16|fig17|offline|waitcnt|extensions|baselines|all")
-		quick     = flag.Bool("quick", false, "smallest problem size per benchmark only")
-		prNodes   = flag.Int("pr-nodes", 64*1024, "PageRank node count for fig16")
-		jsonPath  = flag.String("json", "", "also write every comparison as JSON lines to this file")
-		parallel  = flag.Int("parallel", 0, "worker count for experiment jobs (<= 0: one per CPU)")
-		fixedWall = flag.Bool("fixed-wall", false, "pin wall times in output so runs diff byte-identically")
+		exp        = flag.String("exp", "all", "comma-separated experiments: table1|table2|fig13|fig14|fig15|fig16|fig17|offline|waitcnt|extensions|baselines|all")
+		quick      = flag.Bool("quick", false, "smallest problem size per benchmark only")
+		prNodes    = flag.Int("pr-nodes", 64*1024, "PageRank node count for fig16")
+		jsonPath   = flag.String("json", "", "also write every comparison as JSON lines to this file")
+		parallel   = flag.Int("parallel", 0, "worker count for experiment jobs (<= 0: one per CPU)")
+		fixedWall  = flag.Bool("fixed-wall", false, "pin wall times in output so runs diff byte-identically")
+		metricsOut = flag.String("metrics-out", "", "write a telemetry snapshot (metrics.json) to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "photon-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-bench: profiles: %v\n", err)
+		}
+	}()
 
 	o := harness.DefaultOptions()
 	o.Quick = *quick
@@ -50,6 +66,12 @@ func main() {
 		}
 		defer f.Close()
 		o.JSON = harness.NewJSONSink(f)
+	}
+	if *metricsOut != "" {
+		o.Metrics = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		o.Trace = obs.NewTraceBuffer()
 	}
 
 	run := func(name string, f func() error) {
@@ -119,5 +141,33 @@ func main() {
 	if n := o.Baselines.Simulated(); n > 0 {
 		fmt.Fprintf(os.Stderr, "(baseline cache: %d full runs simulated, %d reused)\n",
 			n, o.Baselines.Hits())
+	}
+	if o.Metrics != nil {
+		harness.FinalizeMetrics(o.Metrics)
+		if err := o.Metrics.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-bench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		// Run-level summary: how much work the engine did and where
+		// instructions went, so a sweep's telemetry is legible without
+		// opening the artifact.
+		snap := o.Metrics.Snapshot()
+		fmt.Fprintf(os.Stderr,
+			"(telemetry: %d jobs ok, %d failed; %d insts detailed, %d predicted; metrics -> %s)\n",
+			snap.SumCounters("engine_jobs_total", obs.L("status", "ok")),
+			snap.SumCounters("engine_jobs_total", obs.L("status", "error")),
+			snap.SumCounters("photon_insts_detailed_total"),
+			snap.SumCounters("photon_insts_predicted_total"),
+			*metricsOut)
+	}
+	if o.Trace != nil {
+		if n := o.Trace.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "photon-bench: warning: %d trace events dropped (buffer full)\n", n)
+		}
+		if err := o.Trace.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-bench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "(telemetry: %d trace events -> %s)\n", o.Trace.Len(), *traceOut)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"photon/internal/harness"
+	"photon/internal/obs"
 	"photon/internal/sim/gpu"
 	"photon/internal/viz"
 	"photon/internal/workloads/dnn"
@@ -22,12 +23,25 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "figure: fig1|fig2|fig3|fig4|fig6|fig8|fig11|all")
-		arch     = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
-		svgDir   = flag.String("svg", "", "also render figures as SVG into this directory (fig1)")
-		parallel = flag.Int("parallel", 0, "worker count for per-figure jobs (<= 0: one per CPU)")
+		exp        = flag.String("exp", "all", "figure: fig1|fig2|fig3|fig4|fig6|fig8|fig11|all")
+		arch       = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
+		svgDir     = flag.String("svg", "", "also render figures as SVG into this directory (fig1)")
+		parallel   = flag.Int("parallel", 0, "worker count for per-figure jobs (<= 0: one per CPU)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "photon-observe: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-observe: profiles: %v\n", err)
+		}
+	}()
 
 	cfg, ok := gpu.Configs(*arch)
 	if !ok {

@@ -13,14 +13,29 @@ import (
 	"os"
 
 	"photon/internal/harness"
+	"photon/internal/obs"
 )
 
 func main() {
+	var (
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: photon-report <results.jsonl> [...]")
 		os.Exit(2)
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "photon-report: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-report: profiles: %v\n", err)
+		}
+	}()
 	var all []harness.Record
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)

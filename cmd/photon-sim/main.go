@@ -16,6 +16,7 @@ import (
 	"photon/internal/baseline/pka"
 	"photon/internal/core"
 	"photon/internal/harness"
+	"photon/internal/obs"
 	"photon/internal/sim/gpu"
 	"photon/internal/sim/isa"
 	"photon/internal/sim/trace"
@@ -33,11 +34,25 @@ func main() {
 		check     = flag.Bool("check", false, "verify functional correctness after simulation (where supported)")
 		store     = flag.String("analysis-store", "", "offline Photon: JSON file caching online-analysis profiles (created if missing)")
 		splitWait = flag.Bool("split-waitcnt", false, "also end basic blocks at s_waitcnt (paper future-work variant)")
-		tracePath = flag.String("trace", "", "write an execution trace (full mode only)")
-		traceLvl  = flag.String("trace-level", "warp", "trace detail: warp|block|inst")
-		disasm    = flag.Bool("disasm", false, "print each kernel's disassembly and exit")
+		tracePath  = flag.String("trace", "", "write an execution trace (full mode only)")
+		traceLvl   = flag.String("trace-level", "warp", "trace detail: warp|block|inst")
+		disasm     = flag.Bool("disasm", false, "print each kernel's disassembly and exit")
+		metricsOut = flag.String("metrics-out", "", "write a telemetry snapshot (metrics.json) to this file")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-sim: profiles: %v\n", err)
+		}
+	}()
 
 	cfg, ok := gpu.Configs(*arch)
 	if !ok {
@@ -96,7 +111,16 @@ func main() {
 		ph.SetStore(analysisStore)
 	}
 
-	res, err := harness.RunApp(cfg, app, runner)
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var traceBuf *obs.TraceBuffer
+	if *traceOut != "" {
+		traceBuf = obs.NewTraceBuffer()
+	}
+
+	res, err := harness.RunAppObs(cfg, app, runner, reg, traceBuf, 0)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -117,11 +141,33 @@ func main() {
 		}
 	}
 	if tracer != nil {
-		if err := tracer.Flush(); err != nil {
-			fatal("flushing trace: %v", err)
+		// Surface partial traces loudly: a mid-run write failure both drops
+		// events and poisons Flush, and either condition must reach the user.
+		flushErr := tracer.Flush()
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "photon-sim: warning: %d trace events dropped after write error\n", n)
+		}
+		if flushErr != nil {
+			fatal("flushing trace: %v", flushErr)
 		}
 		fmt.Printf("trace: %d warps, %d blocks, %d insts -> %s\n",
 			tracer.Warps, tracer.Blocks, tracer.Insts, *tracePath)
+	}
+	if reg != nil {
+		harness.FinalizeMetrics(reg)
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fatal("writing metrics: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "photon-sim: metrics snapshot -> %s\n", *metricsOut)
+	}
+	if traceBuf != nil {
+		if n := traceBuf.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "photon-sim: warning: %d trace-out events dropped (buffer full)\n", n)
+		}
+		if err := traceBuf.WriteFile(*traceOut); err != nil {
+			fatal("writing trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "photon-sim: %d trace events -> %s\n", traceBuf.Len(), *traceOut)
 	}
 	if *check {
 		if app.Check == nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"photon/internal/core/detect"
+	"photon/internal/obs"
 	"photon/internal/sim/emu"
 	"photon/internal/sim/event"
 	"photon/internal/sim/isa"
@@ -31,6 +32,16 @@ type bbTracker struct {
 	// state.
 	minWarpRetires int
 	warpRetires    int
+
+	// Telemetry handles (nil-safe no-ops when no registry is attached).
+	accepts, rejects, rareEvents *obs.Counter
+}
+
+// setMetrics attaches the detector's telemetry counters.
+func (t *bbTracker) setMetrics(reg *obs.Registry) {
+	t.accepts = reg.Counter("photon_bb_stability_checks_total", obs.L("verdict", "accept"))
+	t.rejects = reg.Counter("photon_bb_stability_checks_total", obs.L("verdict", "reject"))
+	t.rareEvents = reg.Counter("photon_rare_bb_interval_events_total")
 }
 
 func newBBTracker(profile *Profile, params Params, minWarpRetires int) *bbTracker {
@@ -92,6 +103,9 @@ func (t *bbTracker) check() {
 	}
 	if stable/t.totalShr >= t.params.StableBBRate {
 		t.triggered = true
+		t.accepts.Inc()
+	} else {
+		t.rejects.Inc()
 	}
 }
 
@@ -106,6 +120,7 @@ func (t *bbTracker) blockTime(i int, lm *LatencyModel, prog *isa.Program, cfg ti
 	if d := t.detectors[i]; d != nil && d.Count() >= minMeasuredSamples {
 		return d.GlobalMeanDuration()
 	}
+	t.rareEvents.Inc()
 	return EstimateBlockTime(prog, i, lm, cfg)
 }
 

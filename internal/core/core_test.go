@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"photon/internal/core/bbv"
+	"photon/internal/obs"
 	"photon/internal/sim/event"
 	"photon/internal/sim/gpu"
 	"photon/internal/sim/isa"
@@ -428,5 +429,54 @@ func TestRatioTooFar(t *testing.T) {
 	}
 	if !ratioTooFar(0, 10, 2) || !ratioTooFar(10, 0, 2) {
 		t.Fatal("non-positive values must be rejected")
+	}
+}
+
+func TestPhotonMetricsRecorded(t *testing.T) {
+	app, err := workloads.BuildReLU(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	g := gpu.New(smallGPU())
+	g.SetMetrics(reg)
+	ph := MustNew(smallGPU(), testParams(), AllLevels())
+	ph.SetMetrics(reg)
+	var kernels, insts uint64
+	for _, l := range app.Launches {
+		r, err := ph.RunKernel(g, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernels++
+		insts += r.Insts
+	}
+	snap := reg.Snapshot()
+	if got := snap.SumCounters("photon_tier_transitions_total"); got != kernels {
+		t.Fatalf("photon_tier_transitions_total = %d, want %d (one per kernel)", got, kernels)
+	}
+	det := snap.SumCounters("photon_insts_detailed_total")
+	prd := snap.SumCounters("photon_insts_predicted_total")
+	if det+prd != insts {
+		t.Fatalf("detailed (%d) + predicted (%d) = %d, want total insts %d",
+			det, prd, det+prd, insts)
+	}
+	if prd == 0 {
+		t.Fatal("sampling triggered on ReLU but photon_insts_predicted_total = 0")
+	}
+	if snap.SumCounters("photon_insts_sampled_total") == 0 {
+		t.Fatal("photon_insts_sampled_total = 0, want online-analysis sample size")
+	}
+	// The detectors evaluated stability at least once, and the attached GPU
+	// published memory-system telemetry during the detailed portion.
+	checks := snap.SumCounters("photon_bb_stability_checks_total") +
+		snap.SumCounters("photon_warp_stability_checks_total")
+	if checks == 0 {
+		t.Fatal("no detector stability checks recorded")
+	}
+	l1v := snap.SumCounters("sim_cache_hits_total", obs.L("level", "L1V")) +
+		snap.SumCounters("sim_cache_misses_total", obs.L("level", "L1V"))
+	if l1v == 0 {
+		t.Fatal("GPU cache telemetry not recorded during Photon detailed phase")
 	}
 }

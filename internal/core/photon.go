@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"photon/internal/obs"
 	"photon/internal/sim/emu"
 	"photon/internal/sim/event"
 	"photon/internal/sim/gpu"
@@ -89,6 +90,7 @@ type Photon struct {
 	levels  Levels
 	history *History
 	store   *AnalysisStore // optional offline-analysis cache
+	metrics *obs.Registry
 }
 
 // New creates a Photon runner for the given GPU configuration.
@@ -133,6 +135,24 @@ func (p *Photon) Name() string {
 // it).
 func (p *Photon) History() *History { return p.history }
 
+// SetMetrics attaches a telemetry registry. Per-kernel tier decisions,
+// detector verdicts, rare-block interval-model events and instruction
+// attribution are published into it; a nil registry detaches.
+func (p *Photon) SetMetrics(reg *obs.Registry) { p.metrics = reg }
+
+// recordKernel publishes the per-kernel telemetry: which tier produced the
+// result, and how its instructions split between detailed simulation and
+// prediction.
+func (p *Photon) recordKernel(profile *Profile, r gpu.KernelResult) {
+	reg := p.metrics
+	reg.Counter("photon_tier_transitions_total", obs.L("tier", r.Mode)).Inc()
+	reg.Counter("photon_insts_detailed_total").Add(r.DetailedInsts)
+	if r.Insts > r.DetailedInsts {
+		reg.Counter("photon_insts_predicted_total").Add(r.Insts - r.DetailedInsts)
+	}
+	reg.Counter("photon_insts_sampled_total").Add(profile.SampledInsts)
+}
+
 // RunKernel implements gpu.Runner: the full Photon flow for one kernel.
 func (p *Photon) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, error) {
 	start := time.Now()
@@ -170,12 +190,14 @@ func (p *Photon) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, erro
 				SampledInsts: float64(profile.SampledInsts),
 				SimTime:      simTime,
 			})
-			return gpu.KernelResult{
+			result := gpu.KernelResult{
 				SimTime: eventTime(simTime),
 				Insts:   insts,
 				Mode:    "kernel-sampling",
 				Wall:    time.Since(start),
-			}, nil
+			}
+			p.recordKernel(profile, result)
+			return result, nil
 		}
 	}
 
@@ -189,11 +211,13 @@ func (p *Photon) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, erro
 	var bbT *bbTracker
 	if p.levels.BB {
 		bbT = newBBTracker(profile, p.params, minRetires)
+		bbT.setMetrics(p.metrics)
 		obs = append(obs, bbT)
 	}
 	var wT *warpTracker
 	if p.levels.Warp && profile.GPU.DominantShare >= p.params.DominantWarpShare {
 		wT = newWarpTracker(p.params, minRetires)
+		wT.setMetrics(p.metrics)
 		obs = append(obs, wT)
 	}
 	gate := func() bool {
@@ -267,6 +291,7 @@ func (p *Photon) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, erro
 		SimTime:      float64(result.SimTime),
 	})
 	result.Wall = time.Since(start)
+	p.recordKernel(profile, result)
 	return result, nil
 }
 

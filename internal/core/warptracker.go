@@ -2,6 +2,7 @@ package core
 
 import (
 	"photon/internal/core/detect"
+	"photon/internal/obs"
 	"photon/internal/sim/emu"
 	"photon/internal/sim/event"
 	"photon/internal/sim/timing"
@@ -22,6 +23,9 @@ type warpTracker struct {
 	minRetires int
 	retires    int
 	triggered  bool
+
+	// Telemetry handles (nil-safe no-ops when no registry is attached).
+	accepts, rejects *obs.Counter
 }
 
 func newWarpTracker(params Params, minRetires int) *warpTracker {
@@ -32,6 +36,12 @@ func newWarpTracker(params Params, minRetires int) *warpTracker {
 	}
 }
 
+// setMetrics attaches the detector's telemetry counters.
+func (t *warpTracker) setMetrics(reg *obs.Registry) {
+	t.accepts = reg.Counter("photon_warp_stability_checks_total", obs.L("verdict", "accept"))
+	t.rejects = reg.Counter("photon_warp_stability_checks_total", obs.L("verdict", "reject"))
+}
+
 // OnWarpRetired implements timing.Observer.
 func (t *warpTracker) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
 	if t.triggered {
@@ -39,8 +49,13 @@ func (t *warpTracker) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Tim
 	}
 	t.det.Add(float64(issue), float64(now))
 	t.retires++
-	if t.retires >= t.minRetires && t.retires%t.params.CheckInterval == 0 && t.det.Stable() {
-		t.triggered = true
+	if t.retires >= t.minRetires && t.retires%t.params.CheckInterval == 0 {
+		if t.det.Stable() {
+			t.triggered = true
+			t.accepts.Inc()
+		} else {
+			t.rejects.Inc()
+		}
 	}
 }
 

@@ -14,6 +14,9 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
+
+	"photon/internal/obs"
 )
 
 // Task produces the value of one job. Tasks must be independent of each
@@ -40,12 +43,35 @@ func Workers(requested, tasks int) int {
 	return n
 }
 
+// JobMeta describes how one job was executed: which worker ran it, how long
+// it ran, and how long it sat in the queue first. Wall and QueueWait are host
+// times and therefore nondeterministic; callers that require byte-identical
+// output must normalize them before emission.
+type JobMeta struct {
+	Worker    int
+	Wall      time.Duration
+	QueueWait time.Duration
+}
+
+// Instrumentation carries the engine's optional telemetry sinks. The zero
+// value disables both: a nil registry yields no-op metric handles and a nil
+// trace buffer swallows span emission.
+type Instrumentation struct {
+	Metrics *obs.Registry
+	Trace   *obs.TraceBuffer
+}
+
+// enginePID is the trace-event process id under which engine job spans are
+// grouped (workers appear as its threads).
+const enginePID = 1
+
 // result is one task's outcome. done is closed exactly once, when the task
 // finished or was skipped due to cancellation.
 type result[T any] struct {
 	val     T
 	err     error
 	skipped bool
+	meta    JobMeta
 	done    chan struct{}
 }
 
@@ -62,6 +88,16 @@ type result[T any] struct {
 //     prefixed with its task index;
 //   - an emit error cancels the run and is returned the same way.
 func Run[T any](ctx context.Context, parallel int, tasks []Task[T], emit func(i int, v T) error) error {
+	return RunObserved(ctx, parallel, tasks, Instrumentation{},
+		func(i int, v T, _ JobMeta) error { return emit(i, v) })
+}
+
+// RunObserved is Run with telemetry: emit additionally receives each job's
+// execution metadata, and ins (when wired) records per-job wall-time and
+// queue-wait histograms, job counts by outcome, per-worker busy time and
+// utilization gauges, and one Chrome trace span per job on the worker's
+// thread track.
+func RunObserved[T any](ctx context.Context, parallel int, tasks []Task[T], ins Instrumentation, emit func(i int, v T, meta JobMeta) error) error {
 	if len(tasks) == 0 {
 		return nil
 	}
@@ -73,27 +109,50 @@ func Run[T any](ctx context.Context, parallel int, tasks []Task[T], emit func(i 
 		results[i].done = make(chan struct{})
 	}
 
+	reg, tr := ins.Metrics, ins.Trace
+	jobsOK := reg.Counter("engine_jobs_total", obs.L("status", "ok"))
+	jobsErr := reg.Counter("engine_jobs_total", obs.L("status", "error"))
+	jobsSkipped := reg.Counter("engine_jobs_total", obs.L("status", "skipped"))
+	wallHist := reg.Histogram("engine_job_wall_seconds", obs.ExpBuckets(1e-4, 4, 12))
+	waitHist := reg.Histogram("engine_job_queue_wait_seconds", obs.ExpBuckets(1e-4, 4, 12))
+	tr.NameProcess(enginePID, "harness-engine")
+
+	runStart := time.Now()
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	workers := Workers(parallel, len(tasks))
+	busy := make([]time.Duration, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			tr.NameThread(enginePID, w, fmt.Sprintf("worker-%d", w))
 			for i := range indices {
 				r := &results[i]
 				if ctx.Err() != nil {
 					r.skipped = true
+					jobsSkipped.Inc()
 					close(r.done)
 					continue
 				}
+				start := time.Now()
 				r.val, r.err = runOne(ctx, tasks[i])
+				wall := time.Since(start)
+				r.meta = JobMeta{Worker: w, Wall: wall, QueueWait: start.Sub(runStart)}
+				busy[w] += wall
 				if r.err != nil {
+					jobsErr.Inc()
 					cancel()
+				} else {
+					jobsOK.Inc()
 				}
+				wallHist.Observe(wall.Seconds())
+				waitHist.Observe(r.meta.QueueWait.Seconds())
+				tr.Complete(fmt.Sprintf("job-%d", i), "engine-job", enginePID, w,
+					start, wall, map[string]any{"job": i, "err": r.err != nil})
 				close(r.done)
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(indices)
@@ -113,9 +172,21 @@ func Run[T any](ctx context.Context, parallel int, tasks []Task[T], emit func(i 
 		case r.err != nil:
 			errs = append(errs, fmt.Errorf("job %d: %w", i, r.err))
 		case len(errs) == 0:
-			if err := emit(i, r.val); err != nil {
+			if err := emit(i, r.val, r.meta); err != nil {
 				cancel()
 				errs = append(errs, fmt.Errorf("emit %d: %w", i, err))
+			}
+		}
+	}
+	// All results are done here, so every worker is idle (at most draining
+	// the index channel); the busy slices are final.
+	if reg != nil {
+		elapsed := time.Since(runStart).Seconds()
+		for w := 0; w < workers; w++ {
+			lw := obs.L("worker", fmt.Sprintf("%d", w))
+			reg.Gauge("engine_worker_busy_seconds", lw).Set(busy[w].Seconds())
+			if elapsed > 0 {
+				reg.Gauge("engine_worker_utilization", lw).Set(busy[w].Seconds() / elapsed)
 			}
 		}
 	}

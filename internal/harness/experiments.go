@@ -8,6 +8,7 @@ import (
 
 	"photon/internal/core"
 	"photon/internal/harness/engine"
+	"photon/internal/obs"
 	"photon/internal/sim/gpu"
 	"photon/internal/sim/isa"
 	"photon/internal/workloads"
@@ -38,6 +39,14 @@ type Options struct {
 	// When nil, each sweep falls back to a private cache, so baselines are
 	// still simulated at most once within one experiment.
 	Baselines *BaselineCache
+	// Metrics, when non-nil, receives cumulative telemetry from the engine
+	// and from every sampled-runner simulation (cache/DRAM stats, per-CU
+	// timing counters, Photon tier decisions). Metrics output is a separate
+	// artifact and exempt from the byte-identical guarantee.
+	Metrics *obs.Registry
+	// Trace, when non-nil, collects Chrome trace-event spans for engine jobs
+	// and simulated kernels.
+	Trace *obs.TraceBuffer
 }
 
 // DefaultOptions returns the full-experiment configuration.

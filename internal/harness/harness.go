@@ -12,6 +12,7 @@ import (
 	"photon/internal/baseline/pka"
 	"photon/internal/baseline/tbpoint"
 	"photon/internal/core"
+	"photon/internal/obs"
 	"photon/internal/sim/event"
 	"photon/internal/sim/gpu"
 	"photon/internal/stats"
@@ -38,13 +39,43 @@ type KernelRow struct {
 
 // RunApp executes every launch of the app under the runner on a fresh GPU.
 func RunApp(cfg gpu.Config, app *workloads.App, runner gpu.Runner) (AppResult, error) {
+	return RunAppObs(cfg, app, runner, nil, nil, 0)
+}
+
+// simPID is the trace-event process id under which per-kernel simulation
+// spans are grouped (harness-engine jobs use their own pid).
+const simPID = 2
+
+// metricSetter is implemented by runners that publish telemetry (Photon);
+// runners without it are simply not instrumented.
+type metricSetter interface{ SetMetrics(*obs.Registry) }
+
+// RunAppObs is RunApp with telemetry: the GPU's memory hierarchy and timing
+// machines publish into reg, the runner does too when it supports it, and
+// every kernel emits one Chrome trace span onto thread tid of the simulation
+// track (callers running apps concurrently pass distinct tids so spans do
+// not overlap). A nil registry and trace buffer make it equivalent to
+// RunApp.
+func RunAppObs(cfg gpu.Config, app *workloads.App, runner gpu.Runner, reg *obs.Registry, tr *obs.TraceBuffer, tid int) (AppResult, error) {
 	g := gpu.New(cfg)
+	if reg != nil {
+		g.SetMetrics(reg)
+	}
+	if ms, ok := runner.(metricSetter); ok && reg != nil {
+		ms.SetMetrics(reg)
+	}
+	tr.NameProcess(simPID, "simulation")
 	res := AppResult{Runner: runner.Name()}
 	for _, l := range app.Launches {
+		start := time.Now()
 		r, err := runner.RunKernel(g, l)
 		if err != nil {
 			return res, fmt.Errorf("harness: %s/%s under %s: %w", app.Name, l.Name, runner.Name(), err)
 		}
+		tr.Complete(app.Name+"/"+l.Name, "kernel", simPID, tid, start, r.Wall, map[string]any{
+			"runner": runner.Name(), "mode": r.Mode,
+			"sim_cycles": r.SimTime, "insts": r.Insts,
+		})
 		res.KernelTime += r.SimTime
 		res.Insts += r.Insts
 		res.Wall += r.Wall
@@ -53,6 +84,29 @@ func RunApp(cfg gpu.Config, app *workloads.App, runner gpu.Runner) (AppResult, e
 		})
 	}
 	return res, nil
+}
+
+// FinalizeMetrics derives run-level summary gauges — per-level cache hit
+// rates and the DRAM row-hit rate — from the registry's raw counters. Call
+// it once, after all simulation finished and before writing the snapshot.
+func FinalizeMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	for _, level := range []string{"L1V", "L1I", "L1K", "L2"} {
+		l := obs.L("level", level)
+		hits := snap.SumCounters("sim_cache_hits_total", l)
+		misses := snap.SumCounters("sim_cache_misses_total", l)
+		if hits+misses == 0 {
+			continue
+		}
+		reg.Gauge("sim_cache_hit_rate", l).Set(float64(hits) / float64(hits+misses))
+	}
+	if acc := snap.SumCounters("sim_dram_accesses_total"); acc > 0 {
+		rate := float64(snap.SumCounters("sim_dram_row_hits_total")) / float64(acc)
+		reg.Gauge("sim_dram_row_hit_rate").Set(rate)
+	}
 }
 
 // RunnerFactory builds a fresh runner per application (Photon and PKA carry

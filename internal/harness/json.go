@@ -25,6 +25,12 @@ type Record struct {
 	ErrPct     float64 `json:"err_pct"`
 	Speedup    float64 `json:"speedup"`
 
+	// Worker and JobWallMS describe how the harness engine executed this
+	// row's job; under FixedWall they are pinned (0 and 1.0) so records stay
+	// byte-identical across worker counts.
+	Worker    int     `json:"worker"`
+	JobWallMS float64 `json:"job_wall_ms"`
+
 	PerKernel []KernelRecordJSON `json:"per_kernel,omitempty"`
 }
 

@@ -1,0 +1,152 @@
+package harness
+
+// Integration coverage for the telemetry layer: a real (small) sweep with a
+// metrics registry and trace buffer attached must produce a metrics.json
+// snapshot carrying per-CU issue cycles, cache hit rates and Photon tier
+// decisions, plus a Chrome trace-event file of the shape Perfetto and
+// chrome://tracing accept — and attaching telemetry must not break the
+// byte-identical output guarantee.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"photon/internal/obs"
+)
+
+// runObservedSweep runs the determinism sweep with telemetry attached and
+// returns the text rows, JSON records, and both serialized artifacts.
+func runObservedSweep(t *testing.T, parallel int) (string, []Record, []byte, []byte) {
+	t.Helper()
+	var text, jsonBuf bytes.Buffer
+	o := DefaultOptions()
+	o.Parallel = parallel
+	o.FixedWall = true
+	o.JSON = NewJSONSink(&jsonBuf)
+	o.Baselines = NewBaselineCache()
+	o.Metrics = obs.NewRegistry()
+	o.Trace = obs.NewTraceBuffer()
+	if err := o.RunSweep(&text, detSweep(o)); err != nil {
+		t.Fatal(err)
+	}
+	FinalizeMetrics(o.Metrics)
+	var metrics, trace bytes.Buffer
+	if err := o.Metrics.WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Trace.WriteJSON(&trace); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text.String(), recs, metrics.Bytes(), trace.Bytes()
+}
+
+func TestSweepMetricsArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several small simulations")
+	}
+	_, recs, metricsJSON, traceJSON := runObservedSweep(t, 4)
+
+	// The snapshot must parse and carry the acceptance-criteria families:
+	// per-CU issue cycles, L1/L2 hit rates, Photon tier-transition counts.
+	var snap obs.Snapshot
+	if err := json.Unmarshal(metricsJSON, &snap); err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	perCU := map[string]bool{}
+	for _, c := range snap.Counters {
+		if c.Name == "sim_cu_issue_cycles" {
+			perCU[c.Labels["cu"]] = true
+		}
+	}
+	if len(perCU) < 2 {
+		t.Fatalf("per-CU issue cycles missing (saw CUs %v)", perCU)
+	}
+	for _, level := range []string{"L1V", "L2"} {
+		found := false
+		for _, g := range snap.Gauges {
+			if g.Name == "sim_cache_hit_rate" && g.Labels["level"] == level {
+				if g.Value < 0 || g.Value > 1 {
+					t.Fatalf("%s hit rate %v out of [0,1]", level, g.Value)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sim_cache_hit_rate{level=%s} missing from snapshot", level)
+		}
+	}
+	if snap.SumCounters("photon_tier_transitions_total") == 0 {
+		t.Fatal("photon_tier_transitions_total missing from snapshot")
+	}
+	if snap.SumCounters("engine_jobs_total", obs.L("status", "ok")) != 6 {
+		t.Fatal("engine job accounting missing from snapshot")
+	}
+
+	// The trace must be a Chrome trace-event array: every event named, with
+	// the phase/timestamp/track fields Perfetto requires, and complete ("X")
+	// spans present for engine jobs and kernels.
+	var events []map[string]any
+	if err := json.Unmarshal(traceJSON, &events); err != nil {
+		t.Fatalf("trace file is not a JSON event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	phases := map[string]int{}
+	cats := map[string]int{}
+	for i, e := range events {
+		ph, _ := e["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d has no phase: %v", i, e)
+		}
+		phases[ph]++
+		if cat, ok := e["cat"].(string); ok {
+			cats[cat]++
+		}
+		if _, ok := e["ts"].(float64); !ok {
+			t.Fatalf("event %d has no numeric ts: %v", i, e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("event %d has no pid: %v", i, e)
+		}
+	}
+	if phases["X"] == 0 {
+		t.Fatalf("no complete spans in trace (phases %v)", phases)
+	}
+	if cats["engine-job"] != 6 {
+		t.Fatalf("engine-job spans = %d, want 6 (one per job)", cats["engine-job"])
+	}
+	if cats["kernel"] == 0 {
+		t.Fatal("no kernel spans in trace")
+	}
+
+	// Engine metadata reaches the records, normalized under FixedWall.
+	for i, r := range recs {
+		if r.Worker != 0 || r.JobWallMS != 1.0 {
+			t.Fatalf("record %d not normalized: worker=%d job_wall_ms=%v", i, r.Worker, r.JobWallMS)
+		}
+	}
+}
+
+// TestObservedSweepStaysDeterministic re-checks the byte-identity guarantee
+// with telemetry attached: the metrics/trace artifacts are host-time-based
+// and exempt, but rows and records must not be perturbed by instrumentation.
+func TestObservedSweepStaysDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several small simulations")
+	}
+	text1, recs1, _, _ := runObservedSweep(t, 1)
+	text8, recs8, _, _ := runObservedSweep(t, 8)
+	if text1 != text8 {
+		t.Fatalf("text differs with telemetry attached:\n--- serial ---\n%s--- parallel ---\n%s", text1, text8)
+	}
+	if !reflect.DeepEqual(recs1, recs8) {
+		t.Fatalf("records differ with telemetry attached:\nserial:   %+v\nparallel: %+v", recs1, recs8)
+	}
+}

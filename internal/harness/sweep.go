@@ -69,6 +69,7 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 		}
 		for _, f := range factories {
 			f := f
+			tid := len(tasks)
 			tasks = append(tasks, func(context.Context) (Comparison, error) {
 				full, err := baseline()
 				if err != nil {
@@ -78,7 +79,7 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 				if err != nil {
 					return Comparison{}, err
 				}
-				res, err := RunApp(s.Config, app, f.New(s.Config))
+				res, err := RunAppObs(s.Config, app, f.New(s.Config), o.Metrics, o.Trace, tid)
 				if err != nil {
 					return Comparison{}, err
 				}
@@ -86,11 +87,19 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 			})
 		}
 	}
-	return engine.Run(context.Background(), o.Parallel, tasks, func(_ int, c Comparison) error {
-		c = o.normalize(c)
-		PrintRow(w, c)
-		return o.JSON.Emit(ToRecord(s.Experiment, c, true))
-	})
+	ins := engine.Instrumentation{Metrics: o.Metrics, Trace: o.Trace}
+	return engine.RunObserved(context.Background(), o.Parallel, tasks, ins,
+		func(_ int, c Comparison, meta engine.JobMeta) error {
+			c = o.normalize(c)
+			rec := ToRecord(s.Experiment, c, true)
+			rec.Worker = meta.Worker
+			rec.JobWallMS = ms(meta.Wall)
+			if o.FixedWall {
+				rec.Worker, rec.JobWallMS = 0, 1.0
+			}
+			PrintRow(w, c)
+			return o.JSON.Emit(rec)
+		})
 }
 
 // normalize applies the FixedWall pinning to a comparison before emission.

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives one registry from 8 goroutines that
+// interleave handle registration with counter/gauge/histogram updates;
+// under -race this is the telemetry layer's data-race gate, and the summed
+// totals prove no update was lost.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Re-resolve handles every iteration: registration must be
+				// as race-free as the updates themselves.
+				reg.Counter("hammer_total", L("worker", "shared")).Inc()
+				reg.Gauge("hammer_gauge").Add(1)
+				reg.Histogram("hammer_hist", []float64{1, 10, 100}).Observe(float64(i % 200))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const want = goroutines * perG
+	if got := reg.Counter("hammer_total", L("worker", "shared")).Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("hammer_gauge").Value(); got != want {
+		t.Fatalf("gauge = %v, want %d", got, want)
+	}
+	h := reg.Histogram("hammer_hist", []float64{1, 10, 100})
+	if h.Count() != want {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), want)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	// Every handle from a nil registry must be a usable no-op.
+	reg.Counter("c").Inc()
+	reg.Counter("c").Add(3)
+	reg.Gauge("g").Set(1)
+	reg.Gauge("g").Add(1)
+	reg.Histogram("h", []float64{1}).Observe(0.5)
+	if reg.Counter("c").Value() != 0 || reg.Gauge("g").Value() != 0 || reg.Histogram("h", []float64{1}).Count() != 0 {
+		t.Fatal("nil registry handles must read zero")
+	}
+	if got := reg.Snapshot(); len(got.Counters)+len(got.Gauges)+len(got.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+
+	var tb *TraceBuffer
+	tb.CompleteAt("x", "", 1, 1, 0, 1, nil)
+	tb.NameThread(1, 1, "w")
+	if tb.Len() != 0 || tb.Dropped() != 0 {
+		t.Fatal("nil trace buffer must be empty")
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("nil trace buffer must serialize as an empty array: %v %v", events, err)
+	}
+}
+
+func TestLabelOrderInsensitive(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x", L("a", "1"), L("b", "2"))
+	b := reg.Counter("x", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label declaration order must not create distinct metrics")
+	}
+	a.Add(7)
+	if got := reg.Snapshot().SumCounters("x", L("a", "1")); got != 7 {
+		t.Fatalf("SumCounters = %d, want 7", got)
+	}
+}
+
+// TestSnapshotDeterministicJSON checks the artifact property the
+// determinism harness relies on: same values in, byte-identical JSON out,
+// regardless of registration order.
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func(reversed bool) string {
+		reg := NewRegistry()
+		names := []string{"alpha", "beta", "gamma"}
+		if reversed {
+			names = []string{"gamma", "beta", "alpha"}
+		}
+		for _, n := range names {
+			reg.Counter(n, L("cu", "0")).Add(42)
+			reg.Gauge(n + "_rate").Set(0.5)
+			reg.Histogram(n+"_lat", ExpBuckets(1, 4, 6)).Observe(17)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build(false) != build(true) {
+		t.Fatal("snapshot JSON depends on registration order")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	h.ObserveN(5000, 2)
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("want 1 histogram, got %d", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if hs.Count != 7 || hs.Sum != 0.5+1+5+50+500+2*5000 {
+		t.Fatalf("count/sum wrong: %+v", hs)
+	}
+	wantCum := []uint64{2, 3, 4, 7} // <=1, <=10, <=100, +Inf
+	for i, b := range hs.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(float64(hs.Buckets[3].LE), +1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+
+	// The +Inf bound must survive a JSON round trip (no infinity literal in
+	// JSON).
+	raw, err := json.Marshal(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hs, back) {
+		t.Fatalf("round trip changed snapshot:\n%+v\n%+v", hs, back)
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	reg.Gauge("x")
+}

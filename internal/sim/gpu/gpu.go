@@ -3,6 +3,7 @@ package gpu
 import (
 	"time"
 
+	"photon/internal/obs"
 	"photon/internal/sim/emu"
 	"photon/internal/sim/event"
 	"photon/internal/sim/kernel"
@@ -14,8 +15,9 @@ import (
 // timing model; a fresh timing machine is created per kernel so each kernel
 // starts at cycle zero. GPUs are not safe for concurrent use.
 type GPU struct {
-	cfg  Config
-	hier *mem.Hierarchy
+	cfg     Config
+	hier    *mem.Hierarchy
+	metrics *obs.Registry
 }
 
 // New builds a GPU from a configuration.
@@ -29,6 +31,13 @@ func (g *GPU) Config() Config { return g.cfg }
 // Hierarchy exposes the memory hierarchy (observers and tests use it).
 func (g *GPU) Hierarchy() *mem.Hierarchy { return g.hier }
 
+// SetMetrics attaches a telemetry registry: the memory hierarchy and every
+// timing machine this GPU creates publish their cumulative stats into it.
+func (g *GPU) SetMetrics(reg *obs.Registry) {
+	g.metrics = reg
+	g.hier.SetMetrics(reg)
+}
+
 // RunDetailed simulates the launch in detailed mode. obs may be nil; gate,
 // when non-nil, is polled before each workgroup dispatch and stops detailed
 // simulation when it returns true. Caches are reset so every kernel starts
@@ -37,6 +46,7 @@ func (g *GPU) Hierarchy() *mem.Hierarchy { return g.hier }
 func (g *GPU) RunDetailed(l *kernel.Launch, obs timing.Observer, gate func() bool) (timing.Result, error) {
 	g.hier.Reset()
 	m := timing.NewMachine(g.cfg.Compute, g.hier, obs)
+	m.SetMetrics(g.metrics)
 	if gate != nil {
 		m.SetStopDispatch(gate)
 	}

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"photon/internal/obs"
 	"photon/internal/sim/event"
 )
 
@@ -52,10 +53,35 @@ type Lower interface {
 	Access(now event.Time, lineAddr uint64, write bool) event.Time
 }
 
+// levelMetrics is the registry-backed stat set one cache level (or DRAM)
+// publishes into; every cache instance of a level shares one set, so the
+// registry stays at per-level cardinality however many CUs the GPU has.
+// All handles are nil-safe: an unwired hierarchy publishes to no-ops.
+type levelMetrics struct {
+	hits, misses, evictions, writebacks *obs.Counter
+	latency                             *obs.Histogram
+}
+
+// newLevelMetrics registers the level's counters and latency histogram.
+func newLevelMetrics(reg *obs.Registry, level string) *levelMetrics {
+	l := obs.L("level", level)
+	return &levelMetrics{
+		hits:       reg.Counter("sim_cache_hits_total", l),
+		misses:     reg.Counter("sim_cache_misses_total", l),
+		evictions:  reg.Counter("sim_cache_evictions_total", l),
+		writebacks: reg.Counter("sim_cache_writebacks_total", l),
+		latency:    reg.Histogram("sim_cache_latency_cycles", obs.ExpBuckets(1, 2, 14), l),
+	}
+}
+
 // Cache is a set-associative, write-back, write-allocate cache with an LRU
 // replacement policy and a single port whose throughput limit models
 // bandwidth contention. It is a timing model only: data lives in the
 // functional Flat memory.
+//
+// Statistics are dual-homed: per-kernel counts live in plain fields (reset
+// with the cache, read through the accessors below), while the cumulative
+// run totals stream into the level's registry-backed metrics.
 type Cache struct {
 	cfg      CacheConfig
 	sets     [][]cacheLine
@@ -64,8 +90,8 @@ type Cache struct {
 	portFree event.Time
 	lruClock uint64
 
-	// Stats
-	Hits, Misses, Evictions, Writebacks uint64
+	hits, misses, evictions, writebacks uint64
+	mx                                  *levelMetrics
 }
 
 // NewCache builds a cache over the given lower level.
@@ -82,11 +108,28 @@ func NewCache(cfg CacheConfig, lower Lower) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), lower: lower}
+	// An unwired cache publishes into a zero levelMetrics: every handle is
+	// nil, so the nil-safe obs methods make each publish a no-op.
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(numSets - 1), lower: lower, mx: &levelMetrics{}}
 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Hits returns the hit count since the last Reset.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count since the last Reset.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Evictions returns the eviction count since the last Reset.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// Writebacks returns the writeback count since the last Reset.
+func (c *Cache) Writebacks() uint64 { return c.writebacks }
+
+// setMetrics attaches the level's registry-backed stat set.
+func (c *Cache) setMetrics(mx *levelMetrics) { c.mx = mx }
 
 // Reset invalidates all lines and clears statistics (used between kernels
 // when a cold-cache policy is wanted, and by tests).
@@ -97,7 +140,7 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.portFree = 0
-	c.Hits, c.Misses, c.Evictions, c.Writebacks = 0, 0, 0, 0
+	c.hits, c.misses, c.evictions, c.writebacks = 0, 0, 0, 0
 }
 
 // Access performs a timing access for the line containing lineAddr and
@@ -117,19 +160,23 @@ func (c *Cache) Access(now event.Time, lineAddr uint64, write bool) event.Time {
 
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
-			c.Hits++
+			c.hits++
+			c.mx.hits.Inc()
 			set[i].lru = c.lruClock
 			if write {
 				set[i].dirty = true
 			}
-			return start + c.cfg.HitLatency
+			done := start + c.cfg.HitLatency
+			c.mx.latency.Observe(float64(done - now))
+			return done
 		}
 	}
 
 	// Miss: pick the LRU victim, write it back if dirty, then fill from the
 	// lower level. The writeback consumes lower-level bandwidth but is off
 	// the critical path of this access.
-	c.Misses++
+	c.misses++
+	c.mx.misses.Inc()
 	victim := 0
 	for i := 1; i < len(set); i++ {
 		if !set[i].valid {
@@ -141,14 +188,17 @@ func (c *Cache) Access(now event.Time, lineAddr uint64, write bool) event.Time {
 		}
 	}
 	if set[victim].valid {
-		c.Evictions++
+		c.evictions++
+		c.mx.evictions.Inc()
 		if set[victim].dirty {
-			c.Writebacks++
+			c.writebacks++
+			c.mx.writebacks.Inc()
 			c.lower.Access(start+c.cfg.HitLatency, set[victim].tag*LineSize, true)
 		}
 	}
 	fillDone := c.lower.Access(start+c.cfg.HitLatency, lineAddr, false)
 	set[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.lruClock}
+	c.mx.latency.Observe(float64(fillDone - now))
 	return fillDone
 }
 

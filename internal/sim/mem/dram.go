@@ -1,9 +1,10 @@
 package mem
 
 import (
-	"photon/internal/sim/event"
-
 	"fmt"
+
+	"photon/internal/obs"
+	"photon/internal/sim/event"
 )
 
 // DRAMConfig describes the banked DRAM timing model.
@@ -39,13 +40,23 @@ type dramBank struct {
 	rowValid bool
 }
 
+// dramMetrics is DRAM's registry-backed stat set (nil handles when the
+// hierarchy is unwired).
+type dramMetrics struct {
+	accesses, rowHits *obs.Counter
+	latency           *obs.Histogram
+}
+
 // DRAM is a banked memory timing model with open-row tracking and per-bank
 // queueing. Lines are interleaved across banks at cache-line granularity.
+// Like Cache, per-kernel stats live in reset-able fields behind accessors
+// while cumulative totals stream into the registry.
 type DRAM struct {
 	cfg   DRAMConfig
 	banks []dramBank
 
-	Accesses, RowHits uint64
+	accesses, rowHits uint64
+	mx                *dramMetrics
 }
 
 // NewDRAM builds the DRAM model.
@@ -53,24 +64,40 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &DRAM{cfg: cfg, banks: make([]dramBank, cfg.Banks)}
+	return &DRAM{cfg: cfg, banks: make([]dramBank, cfg.Banks), mx: &dramMetrics{}}
 }
 
 // Config returns the DRAM configuration.
 func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+// Accesses returns the access count since the last Reset.
+func (d *DRAM) Accesses() uint64 { return d.accesses }
+
+// RowHits returns the open-row hit count since the last Reset.
+func (d *DRAM) RowHits() uint64 { return d.rowHits }
+
+// setMetrics attaches the registry-backed stat set.
+func (d *DRAM) setMetrics(reg *obs.Registry) {
+	d.mx = &dramMetrics{
+		accesses: reg.Counter("sim_dram_accesses_total"),
+		rowHits:  reg.Counter("sim_dram_row_hits_total"),
+		latency:  reg.Histogram("sim_dram_latency_cycles", obs.ExpBuckets(1, 2, 14)),
+	}
+}
 
 // Reset clears bank state and statistics.
 func (d *DRAM) Reset() {
 	for i := range d.banks {
 		d.banks[i] = dramBank{}
 	}
-	d.Accesses, d.RowHits = 0, 0
+	d.accesses, d.rowHits = 0, 0
 }
 
 // Access implements Lower. It charges row-hit or row-miss latency plus any
 // queueing delay behind earlier accesses to the same bank.
 func (d *DRAM) Access(now event.Time, lineAddr uint64, write bool) event.Time {
-	d.Accesses++
+	d.accesses++
+	d.mx.accesses.Inc()
 	bankIdx := (lineAddr / LineSize) & uint64(d.cfg.Banks-1)
 	row := lineAddr >> d.cfg.RowBits
 	b := &d.banks[bankIdx]
@@ -82,10 +109,12 @@ func (d *DRAM) Access(now event.Time, lineAddr uint64, write bool) event.Time {
 	lat := d.cfg.RowMissLatency
 	if b.rowValid && b.openRow == row {
 		lat = d.cfg.RowHitLatency
-		d.RowHits++
+		d.rowHits++
+		d.mx.rowHits.Inc()
 	}
 	b.openRow = row
 	b.rowValid = true
 	b.nextFree = start + d.cfg.BurstCycles
+	d.mx.latency.Observe(float64(start + lat - now))
 	return start + lat
 }

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"photon/internal/obs"
 	"photon/internal/sim/event"
 )
 
@@ -103,6 +104,23 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
+// SetMetrics attaches a telemetry registry: every cache level and the DRAM
+// publish cumulative hit/miss/eviction/writeback counts and access-latency
+// histograms into it, labeled by level. All instances of a level share one
+// stat set, so cardinality is bounded regardless of CU count. Safe to call
+// with a nil registry (detaches into no-ops).
+func (h *Hierarchy) SetMetrics(reg *obs.Registry) {
+	for level, caches := range map[string][]*Cache{
+		"L1V": h.l1v, "L1I": h.l1i, "L1K": h.l1k, "L2": h.l2,
+	} {
+		mx := newLevelMetrics(reg, level)
+		for _, c := range caches {
+			c.setMetrics(mx)
+		}
+	}
+	h.dram.setMetrics(reg)
+}
+
 // Reset invalidates every cache and clears DRAM state; the driver calls it
 // between independent workloads.
 func (h *Hierarchy) Reset() {
@@ -200,22 +218,22 @@ type Stats struct {
 func (h *Hierarchy) CollectStats() Stats {
 	var s Stats
 	for _, c := range h.l1v {
-		s.L1VHits += c.Hits
-		s.L1VMisses += c.Misses
+		s.L1VHits += c.Hits()
+		s.L1VMisses += c.Misses()
 	}
 	for _, c := range h.l1i {
-		s.L1IHits += c.Hits
-		s.L1IMisses += c.Misses
+		s.L1IHits += c.Hits()
+		s.L1IMisses += c.Misses()
 	}
 	for _, c := range h.l1k {
-		s.L1KHits += c.Hits
-		s.L1KMisses += c.Misses
+		s.L1KHits += c.Hits()
+		s.L1KMisses += c.Misses()
 	}
 	for _, c := range h.l2 {
-		s.L2Hits += c.Hits
-		s.L2Misses += c.Misses
+		s.L2Hits += c.Hits()
+		s.L2Misses += c.Misses()
 	}
-	s.DRAMAccesses = h.dram.Accesses
-	s.DRAMRowHits = h.dram.RowHits
+	s.DRAMAccesses = h.dram.Accesses()
+	s.DRAMRowHits = h.dram.RowHits()
 	return s
 }

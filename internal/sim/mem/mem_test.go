@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"photon/internal/obs"
 	"photon/internal/sim/event"
 )
 
@@ -119,8 +120,8 @@ func TestCacheHitAfterMiss(t *testing.T) {
 	if t2 != 210 {
 		t.Fatalf("hit done at %d, want 210", t2)
 	}
-	if c.Hits != 1 || c.Misses != 1 {
-		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
 	}
 }
 
@@ -145,8 +146,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	for i := uint64(0); i < 5; i++ {
 		c.Access(event.Time(i*1000), i*setStride, false)
 	}
-	if c.Evictions != 1 {
-		t.Fatalf("evictions = %d, want 1", c.Evictions)
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
 	}
 	if c.Contains(0) {
 		t.Fatal("LRU line 0 still resident after eviction")
@@ -164,8 +165,8 @@ func TestCacheDirtyWriteback(t *testing.T) {
 	for i := uint64(1); i < 5; i++ {
 		c.Access(event.Time(i*1000), i*setStride, false)
 	}
-	if c.Writebacks != 1 {
-		t.Fatalf("writebacks = %d, want 1", c.Writebacks)
+	if c.Writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Writebacks())
 	}
 	// Lower sees 5 fills + 1 writeback.
 	if lower.accesses != 6 {
@@ -183,8 +184,8 @@ func TestCacheIndexShiftUsesAllSets(t *testing.T) {
 	for i := uint64(0); i < 16; i++ {
 		c.Access(event.Time(i*1000), i*8*LineSize, false)
 	}
-	if c.Evictions != 0 {
-		t.Fatalf("evictions = %d, want 0 (index shift should spread sets)", c.Evictions)
+	if c.Evictions() != 0 {
+		t.Fatalf("evictions = %d, want 0 (index shift should spread sets)", c.Evictions())
 	}
 }
 
@@ -199,8 +200,8 @@ func TestDRAMRowHitVsMiss(t *testing.T) {
 	if t2 != 350 {
 		t.Fatalf("row hit done at %d, want 350", t2)
 	}
-	if d.RowHits != 1 {
-		t.Fatalf("row hits = %d, want 1", d.RowHits)
+	if d.RowHits() != 1 {
+		t.Fatalf("row hits = %d, want 1", d.RowHits())
 	}
 }
 
@@ -360,5 +361,44 @@ func TestAtomicAccessExecutesAtL2(t *testing.T) {
 	}
 	if h.AtomicAccess(10, 1, nil) <= 10 {
 		t.Fatal("empty atomic access must still cost time")
+	}
+}
+
+// TestHierarchyMetricsAccumulateAcrossResets checks the registry-backed
+// stats' defining property: Reset clears the per-kernel accessors but the
+// run-cumulative registry counters keep growing, and hit/miss totals match
+// what the accessors saw per kernel.
+func TestHierarchyMetricsAccumulateAcrossResets(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := testHierarchy()
+	h.SetMetrics(reg)
+
+	addrs := []uint64{0, 64, 128}
+	var wantHits, wantMisses uint64
+	for kernel := 0; kernel < 3; kernel++ {
+		h.Reset()
+		h.VectorAccess(0, 0, addrs, false) // cold: 3 misses
+		h.VectorAccess(100, 0, addrs, false)
+		s := h.CollectStats()
+		wantHits += s.L1VHits
+		wantMisses += s.L1VMisses
+		if s.L1VMisses != 3 || s.L1VHits != 3 {
+			t.Fatalf("kernel %d: per-kernel stats = %+v, want 3 hits / 3 misses", kernel, s)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.SumCounters("sim_cache_hits_total", obs.L("level", "L1V")); got != wantHits {
+		t.Fatalf("registry L1V hits = %d, want %d", got, wantHits)
+	}
+	if got := snap.SumCounters("sim_cache_misses_total", obs.L("level", "L1V")); got != wantMisses {
+		t.Fatalf("registry L1V misses = %d, want %d", got, wantMisses)
+	}
+	if got := snap.SumCounters("sim_dram_accesses_total"); got == 0 {
+		t.Fatal("DRAM accesses never reached the registry")
+	}
+	for _, hs := range snap.Histograms {
+		if hs.Name == "sim_cache_latency_cycles" && hs.Labels["level"] == "L1V" && hs.Count == 0 {
+			t.Fatal("L1V latency histogram recorded nothing")
+		}
 	}
 }

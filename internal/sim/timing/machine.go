@@ -2,9 +2,12 @@ package timing
 
 import (
 	"fmt"
+	"strconv"
 
+	"photon/internal/obs"
 	"photon/internal/sim/emu"
 	"photon/internal/sim/event"
+	"photon/internal/sim/isa"
 	"photon/internal/sim/kernel"
 	"photon/internal/sim/mem"
 )
@@ -34,6 +37,18 @@ type Machine struct {
 	gateTime   event.Time
 
 	progBase uint64 // synthetic address of the program for I-fetch
+
+	// Telemetry. Per-CU and per-FU-class tallies accumulate in plain local
+	// arrays on the simulation goroutine — the hot path never touches an
+	// atomic — and Run flushes them into the registry (when one is attached
+	// via SetMetrics) after the event loop drains.
+	metrics     *obs.Registry
+	issueCycles []uint64 // per CU: cycles the issue ports were occupied
+	issued      []uint64 // per CU: instructions issued
+	stallCycles []uint64 // per CU: cycles warps stalled at s_waitcnt
+	retired     []uint64 // per CU: warps retired
+	classIssued [isa.FUClassCount]uint64
+	classLatSum [isa.FUClassCount]uint64
 }
 
 type cu struct {
@@ -108,6 +123,10 @@ func NewMachine(cfg Config, hier *mem.Hierarchy, obs Observer) *Machine {
 		obs = NopObserver{}
 	}
 	m := &Machine{cfg: cfg, engine: event.New(), hier: hier, obs: obs}
+	m.issueCycles = make([]uint64, cfg.NumCUs)
+	m.issued = make([]uint64, cfg.NumCUs)
+	m.stallCycles = make([]uint64, cfg.NumCUs)
+	m.retired = make([]uint64, cfg.NumCUs)
 	m.cus = make([]*cu, cfg.NumCUs)
 	for i := range m.cus {
 		c := &cu{id: i, freeSlots: cfg.WarpSlotsPerCU()}
@@ -122,6 +141,36 @@ func NewMachine(cfg Config, hier *mem.Hierarchy, obs Observer) *Machine {
 
 // SetStopDispatch installs the per-workgroup dispatch gate.
 func (m *Machine) SetStopDispatch(f func() bool) { m.stopDispatch = f }
+
+// SetMetrics attaches a telemetry registry; Run flushes per-CU issue,
+// stall and retire tallies plus per-FU-class issue counts and latency sums
+// into it when the run drains.
+func (m *Machine) SetMetrics(reg *obs.Registry) { m.metrics = reg }
+
+// flushMetrics publishes the run's tallies. Counters aggregate across
+// kernels and across machines sharing one registry; the sums are
+// deterministic because the simulation itself is.
+func (m *Machine) flushMetrics() {
+	reg := m.metrics
+	if reg == nil {
+		return
+	}
+	for cu := 0; cu < m.cfg.NumCUs; cu++ {
+		l := obs.L("cu", strconv.Itoa(cu))
+		reg.Counter("sim_cu_issue_cycles", l).Add(m.issueCycles[cu])
+		reg.Counter("sim_cu_insts_issued", l).Add(m.issued[cu])
+		reg.Counter("sim_cu_stall_cycles", l).Add(m.stallCycles[cu])
+		reg.Counter("sim_cu_warps_retired", l).Add(m.retired[cu])
+	}
+	for c := isa.FUClass(0); c < isa.FUClassCount; c++ {
+		if m.classIssued[c] == 0 {
+			continue
+		}
+		l := obs.L("class", c.String())
+		reg.Counter("sim_fu_insts_issued", l).Add(m.classIssued[c])
+		reg.Counter("sim_fu_latency_cycles_sum", l).Add(m.classLatSum[c])
+	}
+}
 
 // Engine exposes the event engine (tests use it).
 func (m *Machine) Engine() *event.Engine { return m.engine }
@@ -142,6 +191,7 @@ func (m *Machine) Run(l *kernel.Launch) (Result, error) {
 	m.nextWG = 0
 	m.dispatchPending(0)
 	m.engine.Run()
+	m.flushMetrics()
 	res := Result{
 		EndTime:        m.engine.Now(),
 		Complete:       m.nextWG >= l.NumWorkgroups,
@@ -275,6 +325,9 @@ func (m *Machine) issue(wc *warpCtx, now event.Time) {
 	latency := m.cfg.ExecLatency[class]
 	s := wc.simd
 	s.nextFree = now + m.cfg.IssueOccupancy[class]
+	m.issued[wc.cu.id]++
+	m.issueCycles[wc.cu.id] += uint64(m.cfg.IssueOccupancy[class])
+	m.classIssued[class]++
 
 	switch info.Kind {
 	case emu.StepVectorMem:
@@ -301,14 +354,17 @@ func (m *Machine) issue(wc *warpCtx, now event.Time) {
 		if wc.outstanding > int(info.Inst.Offset) {
 			wc.outstanding = 0
 			if wc.memDoneAt > ready {
+				m.stallCycles[wc.cu.id] += uint64(wc.memDoneAt - ready)
 				ready = wc.memDoneAt
 			}
 		}
 	case emu.StepBarrier:
+		m.classLatSum[class] += uint64(latency)
 		m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
 		m.arriveBarrier(wc, now)
 		return
 	case emu.StepDone:
+		m.classLatSum[class] += uint64(latency)
 		m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
 		m.retireWarp(wc, now)
 		return
@@ -317,6 +373,7 @@ func (m *Machine) issue(wc *warpCtx, now event.Time) {
 	if fetchDone > ready {
 		ready = fetchDone
 	}
+	m.classLatSum[class] += uint64(latency)
 	m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
 	m.warpReadyAt(wc, ready)
 }
@@ -342,6 +399,7 @@ func (m *Machine) retireWarp(wc *warpCtx, now event.Time) {
 	}
 	m.obs.OnWarpRetired(now, wc.w, wc.issueTime)
 	m.warpsDone++
+	m.retired[wc.cu.id]++
 	g := wc.grp
 	g.live--
 	if g.live > 0 {

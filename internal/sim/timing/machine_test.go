@@ -3,6 +3,7 @@ package timing
 import (
 	"testing"
 
+	"photon/internal/obs"
 	"photon/internal/sim/emu"
 	"photon/internal/sim/event"
 	"photon/internal/sim/isa"
@@ -305,5 +306,48 @@ func TestGateTimeEqualsEndTimeWhenUngated(t *testing.T) {
 	}
 	if !res.Complete || res.GateTime != res.EndTime {
 		t.Fatalf("ungated run: complete=%v gate=%d end=%d", res.Complete, res.GateTime, res.EndTime)
+	}
+}
+
+func TestMachineMetricsFlushedAfterRun(t *testing.T) {
+	l, _ := scaleLaunch(8)
+	reg := obs.NewRegistry()
+	m := NewMachine(DefaultCompute(2), testHier(2), nil)
+	m.SetMetrics(reg)
+	res, err := m.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.SumCounters("sim_cu_insts_issued"); got != res.InstCount {
+		t.Fatalf("sim_cu_insts_issued = %d, want %d", got, res.InstCount)
+	}
+	if snap.SumCounters("sim_cu_issue_cycles") == 0 {
+		t.Fatal("sim_cu_issue_cycles not populated")
+	}
+	if got := snap.SumCounters("sim_cu_warps_retired"); got != 8 {
+		t.Fatalf("sim_cu_warps_retired = %d, want 8", got)
+	}
+	// The scale kernel executes a waitcnt after a vector load, so some
+	// stall cycles must have been recorded.
+	if snap.SumCounters("sim_cu_stall_cycles") == 0 {
+		t.Fatal("sim_cu_stall_cycles not populated")
+	}
+	// Per-FU-class issue counts must agree with the per-CU total.
+	if got := snap.SumCounters("sim_fu_insts_issued"); got != res.InstCount {
+		t.Fatalf("sim_fu_insts_issued = %d, want %d", got, res.InstCount)
+	}
+	// Per-CU counters carry a cu label.
+	var labeled int
+	for _, c := range snap.Counters {
+		if c.Name == "sim_cu_insts_issued" {
+			if c.Labels["cu"] == "" {
+				t.Fatalf("counter %s missing cu label: %+v", c.Name, c.Labels)
+			}
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		t.Fatal("no per-CU sim_cu_insts_issued series found")
 	}
 }

@@ -40,6 +40,9 @@ type Tracer struct {
 	w     *bufio.Writer
 	level Level
 
+	err     error  // first write error; later events are dropped
+	dropped uint64 // events not written because of err
+
 	Warps  uint64
 	Blocks uint64
 	Insts  uint64
@@ -50,18 +53,51 @@ func New(w io.Writer, level Level) *Tracer {
 	return &Tracer{w: bufio.NewWriter(w), level: level}
 }
 
-// Flush drains buffered events; call it when simulation finishes.
+// Flush drains buffered events; call it when simulation finishes. It returns
+// the first error hit anywhere in the trace's lifetime — a failed event
+// write poisons the trace even when the final flush succeeds, so callers
+// never mistake a truncated trace for a complete one.
 func (t *Tracer) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.w.Flush()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err returns the first write error, or nil for a healthy trace.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Dropped counts events discarded after the first write error.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// write emits one event line, recording the first failure and counting every
+// event discarded afterwards. Callers must hold t.mu.
+func (t *Tracer) write(format string, args ...any) {
+	if t.err != nil {
+		t.dropped++
+		return
+	}
+	if _, err := fmt.Fprintf(t.w, format, args...); err != nil {
+		t.err = err
+		t.dropped++
+	}
 }
 
 // OnWarpStart implements timing.Observer.
 func (t *Tracer) OnWarpStart(now event.Time, w *emu.Warp) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "W+ %d warp=%d\n", now, w.GlobalID)
+	t.write("W+ %d warp=%d\n", now, w.GlobalID)
 }
 
 // OnWarpRetired implements timing.Observer.
@@ -69,7 +105,7 @@ func (t *Tracer) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Warps++
-	fmt.Fprintf(t.w, "W- %d warp=%d issue=%d insts=%d\n", now, w.GlobalID, issue, w.InstCount)
+	t.write("W- %d warp=%d issue=%d insts=%d\n", now, w.GlobalID, issue, w.InstCount)
 }
 
 // OnBlockRetired implements timing.Observer.
@@ -80,7 +116,7 @@ func (t *Tracer) OnBlockRetired(now event.Time, w *emu.Warp, blockIdx int, enter
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Blocks++
-	fmt.Fprintf(t.w, "B  %d warp=%d block=%d dur=%d\n", now, w.GlobalID, blockIdx, exit-enter)
+	t.write("B  %d warp=%d block=%d dur=%d\n", now, w.GlobalID, blockIdx, exit-enter)
 }
 
 // OnInstIssued implements timing.Observer.
@@ -91,7 +127,7 @@ func (t *Tracer) OnInstIssued(now event.Time, cuID int, w *emu.Warp, class isa.F
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Insts++
-	fmt.Fprintf(t.w, "I  %d cu=%d warp=%d fu=%s lat=%d\n", now, cuID, w.GlobalID, class, lat)
+	t.write("I  %d cu=%d warp=%d fu=%s lat=%d\n", now, cuID, w.GlobalID, class, lat)
 }
 
 var _ timing.Observer = (*Tracer)(nil)

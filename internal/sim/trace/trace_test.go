@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -89,5 +90,65 @@ func TestTracerComposesWithOtherObservers(t *testing.T) {
 	}
 	if tr.Warps != 4 || ipc.Total() == 0 {
 		t.Fatal("composed observers missed events")
+	}
+}
+
+// failAfter fails every write once n bytes have been accepted, like a disk
+// filling up mid-trace.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.written >= w.n {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestTracerReportsWriteErrorsAndDrops(t *testing.T) {
+	// A zero budget fails the first buffer flush; the launch is sized well
+	// past bufio's buffer so the failure strikes while instruction events
+	// are still streaming and later events must be counted as dropped.
+	tr := New(&failAfter{n: 0}, LevelInst)
+	l := traceLaunch()
+	l.NumWorkgroups = 64
+	g := gpu.New(gpu.R9Nano())
+	if _, err := g.RunDetailed(l, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.Flush()
+	if err == nil {
+		t.Fatal("Flush() = nil, want the underlying write error")
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Flush() = %v, want the disk-full error", err)
+	}
+	if tr.Err() == nil {
+		t.Fatal("Err() = nil after failed writes")
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("Dropped() = 0, want events discarded after the write error")
+	}
+	// Counters still reflect simulated events, not written ones.
+	if tr.Insts != 64*12 {
+		t.Fatalf("Insts = %d, want %d even when the sink fails", tr.Insts, 64*12)
+	}
+}
+
+func TestTracerFlushCleanOnHealthySink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, LevelInst)
+	g := gpu.New(gpu.R9Nano())
+	if _, err := g.RunDetailed(traceLaunch(), tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush() = %v on healthy sink", err)
+	}
+	if tr.Err() != nil || tr.Dropped() != 0 {
+		t.Fatalf("healthy trace reports err=%v dropped=%d", tr.Err(), tr.Dropped())
 	}
 }
