@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"photon/internal/bench"
 	"photon/internal/harness"
 	"photon/internal/obs"
 )
@@ -38,8 +39,24 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		perf       = flag.Bool("perf", false, "run the hot-path performance baseline instead of experiments")
+		perfOut    = flag.String("perf-out", "BENCH_PR3.json", "where -perf writes its JSON report")
 	)
 	flag.Parse()
+
+	if *perf {
+		rep, err := bench.Run(os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "photon-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteFile(*perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "(perf baseline -> %s in %.1fs)\n", *perfOut, rep.TotalWallSeconds)
+		return
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {

@@ -53,8 +53,9 @@ func AnalyzeOnline(l *kernel.Launch, fraction float64) (*Profile, error) {
 		Types:      make(map[uint64]*bbv.TypeProfile),
 		BlockInsts: make([]uint64, l.Program.NumBlocks()),
 	}
+	var grp emu.Group
 	for i := 0; i < sampleWGs; i++ {
-		grp := emu.NewGroup(l, i*stride)
+		grp.Reset(l, i*stride)
 		if err := grp.RunFunctional(); err != nil {
 			return nil, fmt.Errorf("core: online analysis of %s: %w", l.Name, err)
 		}

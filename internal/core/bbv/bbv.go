@@ -7,9 +7,9 @@
 package bbv
 
 import (
-	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
 
 	"photon/internal/sim/isa"
 )
@@ -20,6 +20,32 @@ const Dim = 16
 // Vector is a projected, instruction-weighted basic-block vector.
 type Vector [Dim]float64
 
+// FNV-1a constants, spelled out so the hot paths can hash inline instead of
+// going through hash/fnv (whose New64a allocates). The byte order below
+// matches what the hash/fnv-based implementation wrote, so the sums — and
+// everything derived from them (slots, type IDs, sampling decisions) — are
+// bit-identical to earlier revisions.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvU64 folds the 8 little-endian bytes of v into an FNV-1a sum.
+func fnvU64(sum, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		sum = (sum ^ (v >> i & 0xff)) * fnvPrime64
+	}
+	return sum
+}
+
+// fnvU32 folds the 4 little-endian bytes of v into an FNV-1a sum.
+func fnvU32(sum uint64, v uint32) uint64 {
+	for i := 0; i < 32; i += 8 {
+		sum = (sum ^ uint64(v>>i&0xff)) * fnvPrime64
+	}
+	return sum
+}
+
 // slotsOf maps a basic block to two independent projection slots; its
 // weight is split between them. The hash mixes the program's fingerprint so
 // equal (startPC, len) blocks of different programs do not collide. Two
@@ -29,36 +55,49 @@ type Vector [Dim]float64
 // kernel-sampling matches; requiring both slots to coincide drops that to
 // ~1/Dim².
 func slotsOf(progFP uint64, key isa.BlockKey) (int, int) {
-	h := fnv.New64a()
-	var b [16]byte
-	putU64(b[:8], progFP)
-	putU64(b[8:], uint64(key.StartPC)<<20|uint64(key.Len))
-	h.Write(b[:])
-	sum := h.Sum64()
+	sum := fnvU64(uint64(fnvOffset64), progFP)
+	sum = fnvU64(sum, uint64(key.StartPC)<<20|uint64(key.Len))
 	return int(sum % Dim), int((sum >> 32) % Dim)
 }
 
-func putU64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
+// slotPair is a block's two projection slots, precomputed per program.
+type slotPair struct{ a, b uint8 }
+
+// slotCache memoizes the per-block slot pairs keyed by program fingerprint
+// (programs with equal fingerprints have identical block structure, so the
+// table is shared). Concurrent jobs in the parallel harness consult it from
+// different goroutines.
+var slotCache sync.Map // uint64 -> []slotPair
+
+func slotsFor(prog *isa.Program) []slotPair {
+	if v, ok := slotCache.Load(prog.Fingerprint); ok {
+		return v.([]slotPair)
 	}
+	t := make([]slotPair, prog.NumBlocks())
+	for i, blk := range prog.Blocks {
+		s1, s2 := slotsOf(prog.Fingerprint, blk.Key())
+		t[i] = slotPair{uint8(s1), uint8(s2)}
+	}
+	v, _ := slotCache.LoadOrStore(prog.Fingerprint, t)
+	return v.([]slotPair)
 }
 
 // FromCounts builds the projected BBV of one warp from its per-block entry
 // counts, weighting each block by executed instructions (count × block
-// length) and normalizing to sum 1.
+// length) and normalizing to sum 1. After the program's slot table is built
+// once, the accumulation is allocation-free.
 func FromCounts(prog *isa.Program, counts []uint32) Vector {
 	var v Vector
+	slots := slotsFor(prog)
 	total := 0.0
 	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
-		blk := prog.Blocks[i]
-		w := float64(c) * float64(blk.Len)
-		s1, s2 := slotsOf(prog.Fingerprint, blk.Key())
-		v[s1] += w / 2
-		v[s2] += w / 2
+		w := float64(c) * float64(prog.Blocks[i].Len)
+		s := slots[i]
+		v[s.a] += w / 2
+		v[s.b] += w / 2
 		total += w
 	}
 	if total > 0 {
@@ -72,19 +111,11 @@ func FromCounts(prog *isa.Program, counts []uint32) Vector {
 // TypeID identifies the warp's type: warps with identical dynamic BBVs (same
 // raw counts in the same program) share an ID.
 func TypeID(prog *isa.Program, counts []uint32) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	putU64(b[:], prog.Fingerprint)
-	h.Write(b[:])
+	sum := fnvU64(uint64(fnvOffset64), prog.Fingerprint)
 	for _, c := range counts {
-		var cb [4]byte
-		cb[0] = byte(c)
-		cb[1] = byte(c >> 8)
-		cb[2] = byte(c >> 16)
-		cb[3] = byte(c >> 24)
-		h.Write(cb[:])
+		sum = fnvU32(sum, c)
 	}
-	return h.Sum64()
+	return sum
 }
 
 // MaxTypes caps how many warp types contribute to a GPU BBV; beyond this the

@@ -1,0 +1,90 @@
+package bbv
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"photon/internal/sim/isa"
+	"photon/internal/testutil"
+)
+
+// refSlotsOf is the original hash/fnv-based slot computation, kept as the
+// reference the inlined arithmetic must match bit-for-bit: slot assignments
+// feed sampling decisions, so any drift would silently change results.
+func refSlotsOf(progFP uint64, key isa.BlockKey) (int, int) {
+	h := fnv.New64a()
+	var b [16]byte
+	refPutU64(b[:8], progFP)
+	refPutU64(b[8:], uint64(key.StartPC)<<20|uint64(key.Len))
+	h.Write(b[:])
+	sum := h.Sum64()
+	return int(sum % Dim), int((sum >> 32) % Dim)
+}
+
+func refPutU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func refTypeID(progFP uint64, counts []uint32) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	refPutU64(b[:], progFP)
+	h.Write(b[:])
+	for _, c := range counts {
+		var cb [4]byte
+		cb[0] = byte(c)
+		cb[1] = byte(c >> 8)
+		cb[2] = byte(c >> 16)
+		cb[3] = byte(c >> 24)
+		h.Write(cb[:])
+	}
+	return h.Sum64()
+}
+
+// TestInlineFNVMatchesHashFnv checks the hand-inlined FNV-1a against the
+// standard library over randomized inputs.
+func TestInlineFNVMatchesHashFnv(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		fp := rng.Uint64()
+		key := isa.BlockKey{StartPC: rng.Intn(1 << 16), Len: rng.Intn(1 << 10)}
+		ga, gb := slotsOf(fp, key)
+		wa, wb := refSlotsOf(fp, key)
+		if ga != wa || gb != wb {
+			t.Fatalf("slotsOf(%#x, %v) = (%d,%d), hash/fnv reference gives (%d,%d)",
+				fp, key, ga, gb, wa, wb)
+		}
+		counts := make([]uint32, 1+rng.Intn(24))
+		for j := range counts {
+			counts[j] = rng.Uint32()
+		}
+		// TypeID reads only the fingerprint from the program.
+		prog := &isa.Program{Fingerprint: fp}
+		if got, want := TypeID(prog, counts), refTypeID(fp, counts); got != want {
+			t.Fatalf("TypeID(%#x, %v) = %#x, hash/fnv reference gives %#x", fp, counts, got, want)
+		}
+	}
+}
+
+// TestFromCountsZeroAlloc pins the allocation-free accumulation: once a
+// program's slot table is cached, building a warp's projected BBV does not
+// touch the allocator.
+func TestFromCountsZeroAlloc(t *testing.T) {
+	prog := twoBlockProgram("alloc")
+	counts := make([]uint32, prog.NumBlocks())
+	for i := range counts {
+		counts[i] = uint32(i*7 + 1)
+	}
+	FromCounts(prog, counts) // warm the slot cache
+	var sink Vector
+	testutil.MustZeroAllocs(t, "bbv.FromCounts", func() {
+		sink = FromCounts(prog, counts)
+	})
+	testutil.MustZeroAllocs(t, "bbv.TypeID", func() {
+		_ = TypeID(prog, counts)
+	})
+	_ = sink
+}

@@ -255,8 +255,9 @@ func (p *Photon) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, erro
 		lm := NewLatencyModel(latTab, g.Config().Compute, p.params.DefaultMemLatency)
 		durations := make([]float64, 0, l.NumWorkgroups-res.NextWG)
 		insts := res.InstCount
+		var grp emu.Group
 		for wg := res.NextWG; wg < l.NumWorkgroups; wg++ {
-			grp := emu.NewGroup(l, wg)
+			grp.Reset(l, wg)
 			if err := grp.RunFunctional(); err != nil {
 				return gpu.KernelResult{}, fmt.Errorf("core: bb-sampling fast-forward: %w", err)
 			}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"testing"
+
+	"photon/internal/testutil"
+)
+
+// TestNilRegistryZeroAlloc pins the no-op telemetry path: with no registry
+// attached (nil *Registry and the nil metric handles it returns),
+// instrumented code must not touch the allocator.
+func TestNilRegistryZeroAlloc(t *testing.T) {
+	var r *Registry
+	c := r.Counter("sim_test_counter")
+	g := r.Gauge("sim_test_gauge")
+	testutil.MustZeroAllocs(t, "obs nil-registry no-op path", func() {
+		r.Counter("sim_test_counter").Add(1)
+		r.Gauge("sim_test_gauge").Set(2)
+		c.Add(3)
+		c.Inc()
+		g.Set(4)
+	})
+}

@@ -1,0 +1,65 @@
+package emu
+
+import (
+	"testing"
+
+	"photon/internal/testutil"
+)
+
+// TestGroupResetZeroAlloc pins the fast-forward pooling: once a Group has
+// been sized for a launch, resetting and re-running workgroups through it is
+// allocation-free — the property the sampled modes' functional loops rely on.
+func TestGroupResetZeroAlloc(t *testing.T) {
+	l, _, _, _ := vecAddLaunch(t, 4*64, 4)
+	var grp Group
+	grp.Reset(l, 0)
+	if err := grp.RunFunctional(); err != nil {
+		t.Fatal(err)
+	}
+	wg := 0
+	testutil.MustZeroAllocs(t, "emu.Group.Reset+RunFunctional", func() {
+		grp.Reset(l, wg%l.NumWorkgroups)
+		wg++
+		if err := grp.RunFunctional(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestResetMatchesNewWarp checks that a recycled warp is indistinguishable
+// from a fresh one after Reset.
+func TestResetMatchesNewWarp(t *testing.T) {
+	l, _, _, _ := vecAddLaunch(t, 2*64, 2)
+	recycled := NewWarp(l, 0, nil)
+	var info StepInfo
+	for !recycled.Done {
+		recycled.Step(&info)
+	}
+	recycled.Reset(l, 1, nil)
+	fresh := NewWarp(l, 1, nil)
+	if recycled.PC != fresh.PC || recycled.Done != fresh.Done ||
+		recycled.Exec != fresh.Exec || recycled.InstCount != fresh.InstCount {
+		t.Fatalf("Reset state differs from NewWarp: %+v vs %+v", recycled, fresh)
+	}
+	for i := range fresh.sgpr {
+		if recycled.sgpr[i] != fresh.sgpr[i] {
+			t.Fatalf("sgpr[%d]: reset %d, fresh %d", i, recycled.sgpr[i], fresh.sgpr[i])
+		}
+	}
+	for i := range fresh.vgpr {
+		if recycled.vgpr[i] != fresh.vgpr[i] {
+			t.Fatalf("vgpr[%d]: reset %d, fresh %d", i, recycled.vgpr[i], fresh.vgpr[i])
+		}
+	}
+	for !recycled.Done && !fresh.Done {
+		recycled.Step(&info)
+		var fi StepInfo
+		fresh.Step(&fi)
+		if recycled.PC != fresh.PC {
+			t.Fatalf("execution diverged at inst %d", recycled.InstCount)
+		}
+	}
+	if recycled.Done != fresh.Done || recycled.InstCount != fresh.InstCount {
+		t.Fatal("recycled and fresh warps finished differently")
+	}
+}

@@ -20,15 +20,35 @@ type Group struct {
 
 // NewGroup instantiates workgroup groupID of the launch.
 func NewGroup(l *kernel.Launch, groupID int) *Group {
-	g := &Group{Launch: l, ID: groupID}
-	if l.Program.LDSBytes > 0 {
-		g.LDS = make([]byte, l.Program.LDSBytes)
-	}
-	g.Warps = make([]*Warp, l.WarpsPerGroup)
-	for i := range g.Warps {
-		g.Warps[i] = NewWarp(l, groupID*l.WarpsPerGroup+i, g.LDS)
-	}
+	g := &Group{}
+	g.Reset(l, groupID)
 	return g
+}
+
+// Reset points the group at workgroup groupID, reusing the LDS backing and
+// the warps' register files when possible. The fast-forward loops run every
+// workgroup of a kernel through one recycled Group, so steady-state
+// functional execution does not allocate.
+func (g *Group) Reset(l *kernel.Launch, groupID int) {
+	g.Launch = l
+	g.ID = groupID
+	if n := l.Program.LDSBytes; n > 0 {
+		if cap(g.LDS) < n {
+			g.LDS = make([]byte, n)
+		} else {
+			g.LDS = g.LDS[:n]
+			clear(g.LDS)
+		}
+	} else {
+		g.LDS = nil
+	}
+	for len(g.Warps) < l.WarpsPerGroup {
+		g.Warps = append(g.Warps, &Warp{})
+	}
+	g.Warps = g.Warps[:l.WarpsPerGroup]
+	for i, w := range g.Warps {
+		w.Reset(l, groupID*l.WarpsPerGroup+i, g.LDS)
+	}
 }
 
 // RunFunctional executes every warp of the group to completion with no
@@ -78,8 +98,9 @@ func RunKernelFunctional(l *kernel.Launch) (insts uint64, err error) {
 	if err := l.Validate(); err != nil {
 		return 0, err
 	}
+	var grp Group
 	for g := 0; g < l.NumWorkgroups; g++ {
-		grp := NewGroup(l, g)
+		grp.Reset(l, g)
 		if err := grp.RunFunctional(); err != nil {
 			return insts, err
 		}

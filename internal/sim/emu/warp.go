@@ -76,18 +76,34 @@ type Warp struct {
 // NewWarp creates warp warpID of the launch. lds is the workgroup's
 // local-data-share backing store, shared between sibling warps.
 func NewWarp(l *kernel.Launch, globalID int, lds []byte) *Warp {
+	w := &Warp{}
+	w.Reset(l, globalID, lds)
+	return w
+}
+
+// Reset reinitializes the warp for a new dispatch, reusing its register
+// backing stores when they are large enough. The pooled simulation paths
+// recycle retired warps through it so steady-state dispatch does not
+// allocate. After Reset the warp is indistinguishable from a NewWarp result.
+func (w *Warp) Reset(l *kernel.Launch, globalID int, lds []byte) {
 	p := l.Program
-	w := &Warp{
-		Launch:    l,
-		GlobalID:  globalID,
-		GroupID:   globalID / l.WarpsPerGroup,
-		IDInGroup: globalID % l.WarpsPerGroup,
-		Exec:      ^uint64(0),
-		sgpr:      make([]uint32, max(p.NumSRegs, kernel.ArgSGPRBase+len(l.Args))),
-		vgpr:      make([]uint32, p.NumVRegs*kernel.WavefrontSize),
-		lds:       lds,
-		BBCounts:  make([]uint32, p.NumBlocks()),
-	}
+	w.Launch = l
+	w.GlobalID = globalID
+	w.GroupID = globalID / l.WarpsPerGroup
+	w.IDInGroup = globalID % l.WarpsPerGroup
+	w.PC = 0
+	w.SCC = false
+	w.Exec = ^uint64(0)
+	w.VCC = 0
+	w.masks = [8]uint64{}
+	w.lds = lds
+	w.Done = false
+	w.AtBarrier = false
+	w.InstCount = 0
+	w.outstandingMem = 0
+	w.sgpr = resetU32(w.sgpr, max(p.NumSRegs, kernel.ArgSGPRBase+len(l.Args)))
+	w.vgpr = resetU32(w.vgpr, p.NumVRegs*kernel.WavefrontSize)
+	w.BBCounts = resetU32(w.BBCounts, p.NumBlocks())
 	// Dispatch conventions: s0=workgroup ID, s1=warp ID within group,
 	// s2=global warp ID, s3=warps per group; kernel args from s8. v0=lane.
 	w.sgpr[0] = uint32(w.GroupID)
@@ -100,7 +116,17 @@ func NewWarp(l *kernel.Launch, globalID int, lds []byte) *Warp {
 			w.vgpr[lane] = uint32(lane)
 		}
 	}
-	return w
+}
+
+// resetU32 returns a zeroed uint32 slice of length n, reusing s's backing
+// array when it is large enough.
+func resetU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // ActiveLanes returns the number of lanes enabled in EXEC.
@@ -164,7 +190,7 @@ func (w *Warp) Step(info *StepInfo) {
 	p := w.Launch.Program
 	in := &p.Insts[w.PC]
 	*info = StepInfo{Kind: StepALU, Inst: in, BlockIdx: p.BlockIndexAt(w.PC)}
-	if b := p.Blocks[info.BlockIdx]; b.StartPC == w.PC {
+	if p.BlockStartsAt(w.PC) {
 		info.EnteredB = true
 		w.BBCounts[info.BlockIdx]++
 	}

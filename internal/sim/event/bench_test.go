@@ -1,0 +1,43 @@
+package event
+
+import "testing"
+
+// The benchmark workload mirrors the timing model's scheduling mix: mostly
+// short After() delays (issue occupancy, exec latencies) with a tail of
+// far-future completions that land in the heap.
+
+func benchEngine(b *testing.B, schedule func(d Time, h Handler), run func() Time) {
+	b.Helper()
+	var fired uint64
+	budget := 0
+	var h Handler
+	h = func(Time) {
+		fired++
+		if budget > 0 {
+			budget--
+			schedule(4, h) // re-entrant scheduling, like warp readiness chains
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		budget = 64
+		for j := 0; j < 64; j++ {
+			schedule(Time(j%8+1), h)
+			if j%8 == 0 {
+				schedule(Time(300+j), h) // heap-range completion
+			}
+		}
+		run()
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	e := New()
+	benchEngine(b, e.After, e.Run)
+}
+
+func BenchmarkRefEngine(b *testing.B) {
+	e := NewRef()
+	benchEngine(b, e.After, e.Run)
+}

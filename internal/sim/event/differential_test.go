@@ -1,0 +1,220 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+
+	"photon/internal/testutil"
+)
+
+// scheduler is the API surface shared by Engine and RefEngine, so one
+// scenario can drive both.
+type scheduler interface {
+	Schedule(at Time, h Handler)
+	After(delay Time, h Handler)
+	Run() Time
+	RunUntil(deadline Time) bool
+	Step() bool
+	Now() Time
+	Pending() int
+	Processed() uint64
+}
+
+var (
+	_ scheduler = (*Engine)(nil)
+	_ scheduler = (*RefEngine)(nil)
+)
+
+// fireRecord captures one event execution.
+type fireRecord struct {
+	id  int
+	now Time
+}
+
+// runScenario drives e with a randomized schedule derived from seed:
+// initial events across near (wheel) and far (heap) horizons, where some
+// events re-schedule children relative to their own fire time — including
+// zero-delay and past (clamped) times. Both engines fire in identical
+// order, so the child cascade evolves identically, and the full fire log is
+// comparable record by record.
+func runScenario(e scheduler, seed int64) []fireRecord {
+	rng := rand.New(rand.NewSource(seed))
+	var log []fireRecord
+	nextID := 0
+	var spawn func(depth int) Handler
+	spawn = func(depth int) Handler {
+		id := nextID
+		nextID++
+		return func(now Time) {
+			log = append(log, fireRecord{id: id, now: now})
+			if depth >= 3 {
+				return
+			}
+			for k := rng.Intn(3); k > 0; k-- {
+				// Mix wheel-range offsets, far offsets and past times (the
+				// -64 offset exercises the clamp path).
+				off := Time(rng.Intn(600)) - 64
+				e.Schedule(now+off, spawn(depth+1))
+			}
+		}
+	}
+	for i := 0; i < 400; i++ {
+		e.Schedule(Time(rng.Intn(2000)), spawn(0))
+	}
+	e.Run()
+	return log
+}
+
+// TestDifferentialVsRefEngine drives the wheel+4-ary-heap engine and the
+// container/heap reference with identical randomized schedules and demands
+// identical fire order — the byte-identical guarantee the simulator's
+// determinism rests on.
+func TestDifferentialVsRefEngine(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		got := runScenario(New(), seed)
+		want := runScenario(NewRef(), seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: divergence at event %d: got id=%d@%d, reference id=%d@%d",
+					seed, i, got[i].id, got[i].now, want[i].id, want[i].now)
+			}
+		}
+	}
+}
+
+// TestDifferentialStepAndRunUntil checks the single-step and bounded-run
+// paths against the reference, interleaving the three drain modes.
+func TestDifferentialStepAndRunUntil(t *testing.T) {
+	build := func(e scheduler) *[]fireRecord {
+		log := &[]fireRecord{}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 300; i++ {
+			id := i
+			e.Schedule(Time(rng.Intn(1500)), func(now Time) {
+				*log = append(*log, fireRecord{id: id, now: now})
+			})
+		}
+		return log
+	}
+	a, b := New(), NewRef()
+	la, lb := build(a), build(b)
+	for _, deadline := range []Time{10, 250, 256, 700, 699} {
+		ra, rb := a.RunUntil(deadline), b.RunUntil(deadline)
+		if ra != rb || a.Now() != b.Now() || a.Pending() != b.Pending() {
+			t.Fatalf("RunUntil(%d): engine (drained=%v now=%d pending=%d) != reference (drained=%v now=%d pending=%d)",
+				deadline, ra, a.Now(), a.Pending(), rb, b.Now(), b.Pending())
+		}
+	}
+	for a.Step() && b.Step() {
+	}
+	if a.Pending() != 0 || b.Pending() != 0 {
+		t.Fatalf("pending after drain: engine %d, reference %d", a.Pending(), b.Pending())
+	}
+	if a.Processed() != b.Processed() {
+		t.Fatalf("processed: engine %d, reference %d", a.Processed(), b.Processed())
+	}
+	if len(*la) != len(*lb) {
+		t.Fatalf("fired %d vs reference %d", len(*la), len(*lb))
+	}
+	for i := range *la {
+		if (*la)[i] != (*lb)[i] {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, (*la)[i], (*lb)[i])
+		}
+	}
+}
+
+// TestRunUntilBoundary pins RunUntil's contract: events scheduled exactly
+// at the deadline fire, the clock never exceeds the deadline, and events
+// clamped into the current instant keep (at, seq) FIFO order.
+func TestRunUntilBoundary(t *testing.T) {
+	e := New()
+	var fired []int
+	e.Schedule(5, func(Time) { fired = append(fired, 5) })
+	e.Schedule(10, func(Time) { fired = append(fired, 10) }) // exactly at deadline
+	e.Schedule(11, func(Time) { fired = append(fired, 11) })
+	if e.RunUntil(10) {
+		t.Fatal("RunUntil(10) reported drained with an event at t=11 pending")
+	}
+	if got := []int{5, 10}; len(fired) != 2 || fired[0] != got[0] || fired[1] != got[1] {
+		t.Fatalf("fired %v, want [5 10] (deadline event must fire)", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d after RunUntil(10), want exactly 10", e.Now())
+	}
+
+	// Clamped past-scheduling at the deadline instant: both land at now=10
+	// and must fire in scheduling order, before the t=11 event.
+	e.Schedule(3, func(now Time) {
+		if now != 10 {
+			t.Errorf("clamped event fired at %d, want 10", now)
+		}
+		fired = append(fired, -1)
+	})
+	e.Schedule(0, func(Time) { fired = append(fired, -2) })
+	if e.RunUntil(10) {
+		t.Fatal("second RunUntil(10) reported drained")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10 (never beyond the deadline)", e.Now())
+	}
+	want := []int{5, 10, -1, -2}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v (clamped events must keep (at, seq) order)", fired, want)
+		}
+	}
+
+	if !e.RunUntil(11) {
+		t.Fatal("RunUntil(11) did not drain")
+	}
+	if fired[len(fired)-1] != 11 {
+		t.Fatalf("t=11 event did not fire last: %v", fired)
+	}
+	// Draining leaves the clock at the last event, not the deadline.
+	if e.Now() != 11 {
+		t.Fatalf("Now() = %d after drain, want 11", e.Now())
+	}
+	// A drained engine reports true without moving the clock.
+	if !e.RunUntil(1000) || e.Now() != 11 {
+		t.Fatalf("empty RunUntil moved the clock to %d", e.Now())
+	}
+}
+
+// TestScheduleZeroAlloc pins the zero-allocation steady state: a warmed-up
+// engine schedules and fires wheel and heap events without touching the
+// allocator.
+func TestScheduleZeroAlloc(t *testing.T) {
+	e := New()
+	var fired int
+	h := Handler(func(Time) { fired++ })
+	// Warm every wheel bucket (the clock rotates through all of them as it
+	// advances) and the heap's backing array.
+	for d := Time(0); d < wheelSize; d++ {
+		for k := 0; k < 8; k++ {
+			e.After(d, h)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		e.After(wheelSize+Time(i), h)
+	}
+	e.Run()
+
+	testutil.MustZeroAllocs(t, "Engine.Schedule+Run (wheel)", func() {
+		for i := 0; i < 16; i++ {
+			e.After(Time(i%5), h)
+		}
+		e.Run()
+	})
+	testutil.MustZeroAllocs(t, "Engine.Schedule+Run (heap)", func() {
+		for i := 0; i < 16; i++ {
+			e.After(wheelSize+Time(i%31), h)
+		}
+		e.Run()
+	})
+}

@@ -189,8 +189,22 @@ func (c FUClass) String() string {
 	return "fu?"
 }
 
+// opClass caches classOf for every opcode so the per-issue lookup in the
+// timing model is a single array index instead of a cascade of compares.
+var opClass = func() [opCount]FUClass {
+	var t [opCount]FUClass
+	for o := Op(0); o < opCount; o++ {
+		t[o] = o.classOf()
+	}
+	return t
+}()
+
 // Class returns the functional unit class for the opcode.
-func (o Op) Class() FUClass {
+func (o Op) Class() FUClass { return opClass[o] }
+
+// classOf derives the class from the opcode ranges; it runs once per opcode
+// at init to build the lookup table.
+func (o Op) classOf() FUClass {
 	switch {
 	case o <= OpSCmpGe:
 		return FUScalar

@@ -36,7 +36,8 @@ type Program struct {
 	Name      string
 	Insts     []Inst
 	Blocks    []BasicBlock
-	blockOfPC []int // PC -> block index
+	blockOfPC []int  // PC -> block index
+	blockHead []bool // PC -> is the first instruction of its block
 
 	// NumVRegs and NumSRegs are the register-file sizes the program needs
 	// (highest index used + 1).
@@ -159,10 +160,12 @@ func (p *Program) computeBlocks() {
 		}
 	}
 	p.blockOfPC = make([]int, len(p.Insts))
+	p.blockHead = make([]bool, len(p.Insts))
 	blockStart := 0
 	flush := func(end int) {
 		b := BasicBlock{ID: len(p.Blocks), StartPC: blockStart, Len: end - blockStart}
 		p.Blocks = append(p.Blocks, b)
+		p.blockHead[blockStart] = true
 		for pc := blockStart; pc < end; pc++ {
 			p.blockOfPC[pc] = b.ID
 		}
@@ -228,6 +231,10 @@ func (p *Program) BlockAt(pc int) BasicBlock { return p.Blocks[p.blockOfPC[pc]] 
 
 // BlockIndexAt returns the index of the basic block containing pc.
 func (p *Program) BlockIndexAt(pc int) int { return p.blockOfPC[pc] }
+
+// BlockStartsAt reports whether pc is the first instruction of its basic
+// block (a per-PC table lookup; the emulator checks this on every step).
+func (p *Program) BlockStartsAt(pc int) bool { return p.blockHead[pc] }
 
 // NumBlocks returns the number of static basic blocks.
 func (p *Program) NumBlocks() int { return len(p.Blocks) }

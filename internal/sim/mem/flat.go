@@ -22,12 +22,18 @@ const (
 type Flat struct {
 	pages map[uint64][]byte
 	brk   uint64
+
+	// Single-entry page cache: GPU kernels stream through buffers, so
+	// consecutive accesses overwhelmingly hit the same 64 KiB page and skip
+	// the map lookup.
+	lastPN   uint64
+	lastPage []byte
 }
 
 // NewFlat returns an empty memory. Allocation starts at 64 KiB so that
 // address 0 stays unmapped (helps catch null-pointer bugs in kernels).
 func NewFlat() *Flat {
-	return &Flat{pages: make(map[uint64][]byte), brk: pageSize}
+	return &Flat{pages: make(map[uint64][]byte), brk: pageSize, lastPN: ^uint64(0)}
 }
 
 // Alloc reserves size bytes and returns the base address, 256-byte aligned.
@@ -47,11 +53,15 @@ func (m *Flat) Footprint() uint64 { return m.brk - pageSize }
 
 func (m *Flat) page(addr uint64) []byte {
 	pn := addr >> pageBits
+	if pn == m.lastPN {
+		return m.lastPage
+	}
 	p, ok := m.pages[pn]
 	if !ok {
 		p = make([]byte, pageSize)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 

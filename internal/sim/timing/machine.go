@@ -36,6 +36,16 @@ type Machine struct {
 	gated      bool
 	gateTime   event.Time
 
+	// Free lists for the high-churn per-workgroup runtime objects. A retired
+	// workgroup returns its groupRT, warp contexts (with their emu.Warp
+	// register files) and LDS backing here; the next dispatch reuses them, so
+	// steady-state dispatch allocates nothing. The lists are per-Machine and
+	// the parallel harness gives each job its own Machine, so no locking is
+	// needed.
+	freeWCs    []*warpCtx
+	freeGroups []*groupRT
+	freeLDS    [][]byte
+
 	progBase uint64 // synthetic address of the program for I-fetch
 
 	// Telemetry. Per-CU and per-FU-class tallies accumulate in plain local
@@ -62,7 +72,8 @@ type simdUnit struct {
 	cu       *cu
 	nextFree event.Time
 	readyQ   []*warpCtx
-	pumpAt   event.Time // time of the latest scheduled pump, -1 if none
+	pumpAt   event.Time    // time of the latest scheduled pump, -1 if none
+	pumpFn   event.Handler // cached pump closure, built once in NewMachine
 }
 
 type warpCtx struct {
@@ -71,6 +82,11 @@ type warpCtx struct {
 	simd *simdUnit
 	grp  *groupRT
 	info emu.StepInfo
+
+	// readyFn is the cached readiness closure, built once per context; it
+	// captures the context itself, so scheduling a readiness event never
+	// allocates a new closure.
+	readyFn event.Handler
 
 	started     bool
 	issueTime   event.Time
@@ -86,7 +102,8 @@ type groupRT struct {
 	id        int
 	cu        *cu
 	warps     []*warpCtx
-	live      int // warps not yet retired
+	lds       []byte // retained for recycling when the group retires
+	live      int    // warps not yet retired
 	atBarrier int
 }
 
@@ -132,7 +149,9 @@ func NewMachine(cfg Config, hier *mem.Hierarchy, obs Observer) *Machine {
 		c := &cu{id: i, freeSlots: cfg.WarpSlotsPerCU()}
 		c.simds = make([]*simdUnit, cfg.SIMDsPerCU)
 		for j := range c.simds {
-			c.simds[j] = &simdUnit{cu: c, pumpAt: -1}
+			s := &simdUnit{cu: c, pumpAt: -1}
+			s.pumpFn = func(t event.Time) { m.pump(s, t) }
+			c.simds[j] = s
 		}
 		m.cus[i] = c
 	}
@@ -243,30 +262,83 @@ func (m *Machine) findFreeCU() *cu {
 func (m *Machine) placeGroup(c *cu, wgID int, now event.Time) {
 	c.freeSlots -= m.launch.WarpsPerGroup
 	m.liveGroups++
-	grp := &groupRT{id: wgID, cu: c, live: m.launch.WarpsPerGroup}
-	var lds []byte
-	if m.launch.Program.LDSBytes > 0 {
-		lds = make([]byte, m.launch.Program.LDSBytes)
-	}
+	grp := m.takeGroup()
+	grp.id = wgID
+	grp.cu = c
+	grp.live = m.launch.WarpsPerGroup
+	grp.atBarrier = 0
+	grp.lds = m.takeLDS(m.launch.Program.LDSBytes)
 	for i := 0; i < m.launch.WarpsPerGroup; i++ {
-		wc := &warpCtx{
-			w:    emu.NewWarp(m.launch, wgID*m.launch.WarpsPerGroup+i, lds),
-			cu:   c,
-			grp:  grp,
-			simd: c.simds[c.rrSIMD],
+		wc := m.takeWarpCtx()
+		gid := wgID*m.launch.WarpsPerGroup + i
+		if wc.w == nil {
+			wc.w = emu.NewWarp(m.launch, gid, grp.lds)
+		} else {
+			wc.w.Reset(m.launch, gid, grp.lds)
 		}
+		wc.cu = c
+		wc.grp = grp
+		wc.simd = c.simds[c.rrSIMD]
 		c.rrSIMD = (c.rrSIMD + 1) % len(c.simds)
 		grp.warps = append(grp.warps, wc)
 		m.warpReadyAt(wc, now+m.cfg.DispatchLatency)
 	}
 }
 
-// warpReadyAt enqueues the warp on its SIMD's ready queue at time t.
-func (m *Machine) warpReadyAt(wc *warpCtx, t event.Time) {
-	m.engine.Schedule(t, func(now event.Time) {
+// takeGroup pops a recycled groupRT or makes a fresh one.
+func (m *Machine) takeGroup() *groupRT {
+	if k := len(m.freeGroups); k > 0 {
+		g := m.freeGroups[k-1]
+		m.freeGroups = m.freeGroups[:k-1]
+		return g
+	}
+	return &groupRT{}
+}
+
+// takeLDS returns a zeroed LDS backing of n bytes, reusing a recycled one
+// when it is large enough.
+func (m *Machine) takeLDS(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	if k := len(m.freeLDS); k > 0 {
+		lds := m.freeLDS[k-1]
+		m.freeLDS = m.freeLDS[:k-1]
+		if cap(lds) >= n {
+			lds = lds[:n]
+			clear(lds)
+			return lds
+		}
+	}
+	return make([]byte, n)
+}
+
+// takeWarpCtx pops a recycled warp context or makes a fresh one with its
+// readiness closure pre-built.
+func (m *Machine) takeWarpCtx() *warpCtx {
+	if k := len(m.freeWCs); k > 0 {
+		wc := m.freeWCs[k-1]
+		m.freeWCs = m.freeWCs[:k-1]
+		wc.started = false
+		wc.issueTime = 0
+		wc.memDoneAt = 0
+		wc.outstanding = 0
+		wc.curBlock = 0
+		wc.curBlockEnter = 0
+		wc.inBlock = false
+		return wc
+	}
+	wc := &warpCtx{}
+	wc.readyFn = func(now event.Time) {
 		wc.simd.readyQ = append(wc.simd.readyQ, wc)
 		m.pump(wc.simd, now)
-	})
+	}
+	return wc
+}
+
+// warpReadyAt enqueues the warp on its SIMD's ready queue at time t.
+func (m *Machine) warpReadyAt(wc *warpCtx, t event.Time) {
+	m.engine.Schedule(t, wc.readyFn)
 }
 
 // pump issues from the SIMD's ready queue, respecting the one-issue-per-
@@ -278,7 +350,7 @@ func (m *Machine) pump(s *simdUnit, now event.Time) {
 	if s.nextFree > now {
 		if s.pumpAt != s.nextFree {
 			s.pumpAt = s.nextFree
-			m.engine.Schedule(s.nextFree, func(t event.Time) { m.pump(s, t) })
+			m.engine.Schedule(s.nextFree, s.pumpFn)
 		}
 		return
 	}
@@ -288,7 +360,7 @@ func (m *Machine) pump(s *simdUnit, now event.Time) {
 	m.issue(wc, now)
 	if len(s.readyQ) > 0 && s.pumpAt != s.nextFree {
 		s.pumpAt = s.nextFree
-		m.engine.Schedule(s.nextFree, func(t event.Time) { m.pump(s, t) })
+		m.engine.Schedule(s.nextFree, s.pumpFn)
 	}
 }
 
@@ -416,7 +488,16 @@ func (m *Machine) retireWarp(wc *warpCtx, now event.Time) {
 		}
 		return
 	}
-	// Workgroup complete: free the slots and admit pending work.
+	// Workgroup complete: free the slots, recycle the runtime objects and
+	// admit pending work. No observer retains warp pointers past its
+	// callback (they read fields synchronously), so reuse is safe.
+	m.freeWCs = append(m.freeWCs, g.warps...)
+	g.warps = g.warps[:0]
+	if g.lds != nil {
+		m.freeLDS = append(m.freeLDS, g.lds)
+		g.lds = nil
+	}
+	m.freeGroups = append(m.freeGroups, g)
 	g.cu.freeSlots += m.launch.WarpsPerGroup
 	m.liveGroups--
 	m.dispatchPending(now)

@@ -7,8 +7,8 @@ package trace
 
 import (
 	"bufio"
-	"fmt"
 	"io"
+	"strconv"
 	"sync"
 
 	"photon/internal/sim/emu"
@@ -42,6 +42,11 @@ type Tracer struct {
 
 	err     error  // first write error; later events are dropped
 	dropped uint64 // events not written because of err
+
+	// scratch is the reusable line buffer: events are formatted with
+	// strconv.Append* into it instead of fmt, so steady-state tracing does
+	// not allocate. Guarded by mu.
+	scratch []byte
 
 	Warps  uint64
 	Blocks uint64
@@ -80,24 +85,39 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
-// write emits one event line, recording the first failure and counting every
-// event discarded afterwards. Callers must hold t.mu.
-func (t *Tracer) write(format string, args ...any) {
+// emit writes the scratch line, recording the first failure and counting
+// every event discarded afterwards. Callers must hold t.mu.
+func (t *Tracer) emit() {
 	if t.err != nil {
 		t.dropped++
 		return
 	}
-	if _, err := fmt.Fprintf(t.w, format, args...); err != nil {
+	if _, err := t.w.Write(t.scratch); err != nil {
 		t.err = err
 		t.dropped++
 	}
+}
+
+// line resets the scratch buffer and appends the event tag plus timestamp.
+// Callers must hold t.mu.
+func (t *Tracer) line(tag string, now event.Time) {
+	t.scratch = append(t.scratch[:0], tag...)
+	t.scratch = strconv.AppendInt(t.scratch, int64(now), 10)
+}
+
+func (t *Tracer) field(name string, v int64) {
+	t.scratch = append(t.scratch, name...)
+	t.scratch = strconv.AppendInt(t.scratch, v, 10)
 }
 
 // OnWarpStart implements timing.Observer.
 func (t *Tracer) OnWarpStart(now event.Time, w *emu.Warp) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.write("W+ %d warp=%d\n", now, w.GlobalID)
+	t.line("W+ ", now)
+	t.field(" warp=", int64(w.GlobalID))
+	t.scratch = append(t.scratch, '\n')
+	t.emit()
 }
 
 // OnWarpRetired implements timing.Observer.
@@ -105,7 +125,12 @@ func (t *Tracer) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Warps++
-	t.write("W- %d warp=%d issue=%d insts=%d\n", now, w.GlobalID, issue, w.InstCount)
+	t.line("W- ", now)
+	t.field(" warp=", int64(w.GlobalID))
+	t.field(" issue=", int64(issue))
+	t.field(" insts=", int64(w.InstCount))
+	t.scratch = append(t.scratch, '\n')
+	t.emit()
 }
 
 // OnBlockRetired implements timing.Observer.
@@ -116,7 +141,12 @@ func (t *Tracer) OnBlockRetired(now event.Time, w *emu.Warp, blockIdx int, enter
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Blocks++
-	t.write("B  %d warp=%d block=%d dur=%d\n", now, w.GlobalID, blockIdx, exit-enter)
+	t.line("B  ", now)
+	t.field(" warp=", int64(w.GlobalID))
+	t.field(" block=", int64(blockIdx))
+	t.field(" dur=", int64(exit-enter))
+	t.scratch = append(t.scratch, '\n')
+	t.emit()
 }
 
 // OnInstIssued implements timing.Observer.
@@ -127,7 +157,14 @@ func (t *Tracer) OnInstIssued(now event.Time, cuID int, w *emu.Warp, class isa.F
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.Insts++
-	t.write("I  %d cu=%d warp=%d fu=%s lat=%d\n", now, cuID, w.GlobalID, class, lat)
+	t.line("I  ", now)
+	t.field(" cu=", int64(cuID))
+	t.field(" warp=", int64(w.GlobalID))
+	t.scratch = append(t.scratch, " fu="...)
+	t.scratch = append(t.scratch, class.String()...)
+	t.field(" lat=", int64(lat))
+	t.scratch = append(t.scratch, '\n')
+	t.emit()
 }
 
 var _ timing.Observer = (*Tracer)(nil)

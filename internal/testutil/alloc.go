@@ -1,0 +1,24 @@
+// Package testutil holds small helpers shared by the repo's tests: the
+// race-detector build flag and the zero-allocation regression check used to
+// pin the simulator's hot paths.
+package testutil
+
+import "testing"
+
+// MustZeroAllocs asserts that f performs no heap allocation per run in
+// steady state. Under the race detector — whose instrumentation itself
+// allocates — the assertion is meaningless, so the helper degrades to
+// exercising f a few times (keeping the code under the race checker's eyes)
+// without counting.
+func MustZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if RaceEnabled {
+		for i := 0; i < 10; i++ {
+			f()
+		}
+		return
+	}
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, n)
+	}
+}
