@@ -13,178 +13,198 @@
 //
 //	photon-bench -exp fig13
 //	photon-bench -exp all -quick -parallel 8
+//
+// The experiment set comes from the registry shared with photon-serve
+// (internal/harness.Experiments), so the CLI and the service always agree
+// on names and behavior.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"photon/internal/bench"
+	"photon/internal/buildinfo"
 	"photon/internal/harness"
 	"photon/internal/obs"
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with testable plumbing: every failure path — including
+// the deferred profile/artifact writes that used to only log — flows into
+// the returned exit code. 0 = success, 1 = runtime failure, 2 = usage.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("photon-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: table1|table2|fig13|fig14|fig15|fig16|fig17|offline|waitcnt|extensions|baselines|all")
-		quick      = flag.Bool("quick", false, "smallest problem size per benchmark only")
-		prNodes    = flag.Int("pr-nodes", 64*1024, "PageRank node count for fig16")
-		jsonPath   = flag.String("json", "", "also write every comparison as JSON lines to this file")
-		parallel   = flag.Int("parallel", 0, "worker count for experiment jobs (<= 0: one per CPU)")
-		fixedWall  = flag.Bool("fixed-wall", false, "pin wall times in output so runs diff byte-identically")
-		metricsOut = flag.String("metrics-out", "", "write a telemetry snapshot (metrics.json) to this file")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		perf       = flag.Bool("perf", false, "run the hot-path performance baseline instead of experiments")
-		perfOut    = flag.String("perf-out", "BENCH_PR3.json", "where -perf writes its JSON report")
+		exp        = fs.String("exp", "all", "comma-separated experiments: "+strings.Join(harness.ExperimentNames(), "|")+"|all")
+		quick      = fs.Bool("quick", false, "smallest problem size per benchmark only")
+		prNodes    = fs.Int("pr-nodes", 64*1024, "PageRank node count for fig16")
+		jsonPath   = fs.String("json", "", "also write every comparison as JSON lines to this file")
+		parallel   = fs.Int("parallel", 0, "worker count for experiment jobs (<= 0: one per CPU)")
+		fixedWall  = fs.Bool("fixed-wall", false, "pin wall times in output so runs diff byte-identically")
+		metricsOut = fs.String("metrics-out", "", "write a telemetry snapshot (metrics.json) to this file")
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		perf       = fs.Bool("perf", false, "run the hot-path performance baseline instead of experiments")
+		perfOut    = fs.String("perf-out", "BENCH_PR3.json", "where -perf writes its JSON report")
+		version    = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Print("photon-bench"))
+		return 0
+	}
 
 	if *perf {
-		rep, err := bench.Run(os.Stdout)
+		rep, err := bench.Run(stdout)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "photon-bench: perf: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "photon-bench: perf: %v\n", err)
+			return 1
 		}
 		if err := rep.WriteFile(*perfOut); err != nil {
-			fmt.Fprintf(os.Stderr, "photon-bench: perf: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "photon-bench: perf: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "(perf baseline -> %s in %.1fs)\n", *perfOut, rep.TotalWallSeconds)
-		return
+		fmt.Fprintf(stderr, "(perf baseline -> %s in %.1fs)\n", *perfOut, rep.TotalWallSeconds)
+		return 0
 	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "photon-bench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "photon-bench: %v\n", err)
+		return 1
 	}
-	defer func() {
-		if err := stopProfiles(); err != nil {
-			fmt.Fprintf(os.Stderr, "photon-bench: profiles: %v\n", err)
+	code := runExperiments(benchFlags{
+		exp:        *exp,
+		quick:      *quick,
+		prNodes:    *prNodes,
+		jsonPath:   *jsonPath,
+		parallel:   *parallel,
+		fixedWall:  *fixedWall,
+		metricsOut: *metricsOut,
+		traceOut:   *traceOut,
+	}, stdout, stderr)
+	// A profile that fails to materialize is a failed run, not a footnote:
+	// the caller asked for the artifact.
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(stderr, "photon-bench: profiles: %v\n", err)
+		if code == 0 {
+			code = 1
 		}
-	}()
+	}
+	return code
+}
 
+type benchFlags struct {
+	exp        string
+	quick      bool
+	prNodes    int
+	jsonPath   string
+	parallel   int
+	fixedWall  bool
+	metricsOut string
+	traceOut   string
+}
+
+func runExperiments(f benchFlags, stdout, stderr io.Writer) int {
 	o := harness.DefaultOptions()
-	o.Quick = *quick
-	o.PRNodes = *prNodes
-	o.Parallel = *parallel
-	o.FixedWall = *fixedWall
+	o.Quick = f.quick
+	o.PRNodes = f.prNodes
+	o.Parallel = f.parallel
+	o.FixedWall = f.fixedWall
 	o.Baselines = harness.NewBaselineCache()
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
+
+	var jsonFile *os.File
+	if f.jsonPath != "" {
+		var err error
+		jsonFile, err = os.Create(f.jsonPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "photon-bench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "photon-bench: %v\n", err)
+			return 1
 		}
-		defer f.Close()
-		o.JSON = harness.NewJSONSink(f)
+		o.JSON = harness.NewJSONSink(jsonFile)
 	}
-	if *metricsOut != "" {
+	if f.metricsOut != "" {
 		o.Metrics = obs.NewRegistry()
 	}
-	if *traceOut != "" {
+	if f.traceOut != "" {
 		o.Trace = obs.NewTraceBuffer()
 	}
 
-	run := func(name string, f func() error) {
-		start := time.Now()
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "photon-bench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println()
-		// Progress metadata goes to stderr so stdout stays diffable across
-		// runs and worker counts (wall time is nondeterministic).
-		fmt.Fprintf(os.Stderr, "(%s regenerated in %s)\n", name, time.Since(start).Round(time.Millisecond))
-	}
-
-	known := map[string]bool{
-		"all": true, "table1": true, "table2": true, "fig13": true, "fig14": true,
-		"fig15": true, "fig16": true, "fig17": true, "offline": true,
-		"waitcnt": true, "extensions": true, "baselines": true,
-	}
 	wants := map[string]bool{}
-	for _, name := range strings.Split(*exp, ",") {
+	for _, name := range strings.Split(f.exp, ",") {
 		name = strings.TrimSpace(name)
-		if !known[name] {
-			fmt.Fprintf(os.Stderr, "photon-bench: unknown experiment %q\n", name)
-			os.Exit(2)
+		if name != "all" {
+			if _, ok := harness.FindExperiment(name); !ok {
+				fmt.Fprintf(stderr, "photon-bench: unknown experiment %q\n", name)
+				return 2
+			}
 		}
 		wants[name] = true
 	}
-	want := func(name string) bool { return wants["all"] || wants[name] }
 
-	w := os.Stdout
-	if want("table1") {
-		harness.Table1(w)
-		fmt.Println()
-	}
-	if want("table2") {
-		harness.Table2(w)
-		fmt.Println()
-	}
-	if want("fig13") {
-		run("fig13", func() error { return harness.Fig13(w, o) })
-	}
-	if want("fig14") {
-		run("fig14", func() error { return harness.Fig14(w, o) })
-	}
-	if want("fig15") {
-		run("fig15", func() error { return harness.Fig15(w, o) })
-	}
-	if want("fig16") {
-		run("fig16", func() error { return harness.Fig16(w, o) })
-	}
-	if want("fig17") {
-		run("fig17", func() error { return harness.Fig17(w, o) })
-	}
-	if want("offline") {
-		run("offline", func() error { return harness.Offline(w, o) })
-	}
-	if want("waitcnt") {
-		run("waitcnt", func() error { return harness.WaitcntAblation(w, o) })
-	}
-	if want("extensions") {
-		run("extensions", func() error { return harness.ExtensionsExperiment(w, o) })
-	}
-	if want("baselines") {
-		run("baselines", func() error { return harness.Baselines(w, o) })
+	for _, e := range harness.Experiments() {
+		if !wants["all"] && !wants[e.Name] {
+			continue
+		}
+		start := time.Now()
+		if err := e.Run(stdout, o); err != nil {
+			fmt.Fprintf(stderr, "photon-bench: %s: %v\n", e.Name, err)
+			return 1
+		}
+		fmt.Fprintln(stdout)
+		// Progress metadata goes to stderr so stdout stays diffable across
+		// runs and worker counts (wall time is nondeterministic).
+		fmt.Fprintf(stderr, "(%s regenerated in %s)\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
 	if n := o.Baselines.Simulated(); n > 0 {
-		fmt.Fprintf(os.Stderr, "(baseline cache: %d full runs simulated, %d reused)\n",
+		fmt.Fprintf(stderr, "(baseline cache: %d full runs simulated, %d reused)\n",
 			n, o.Baselines.Hits())
+	}
+	if jsonFile != nil {
+		if err := jsonFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "photon-bench: closing %s: %v\n", f.jsonPath, err)
+			return 1
+		}
 	}
 	if o.Metrics != nil {
 		harness.FinalizeMetrics(o.Metrics)
-		if err := o.Metrics.WriteFile(*metricsOut); err != nil {
-			fmt.Fprintf(os.Stderr, "photon-bench: writing metrics: %v\n", err)
-			os.Exit(1)
+		if err := o.Metrics.WriteFile(f.metricsOut); err != nil {
+			fmt.Fprintf(stderr, "photon-bench: writing metrics: %v\n", err)
+			return 1
 		}
 		// Run-level summary: how much work the engine did and where
 		// instructions went, so a sweep's telemetry is legible without
 		// opening the artifact.
 		snap := o.Metrics.Snapshot()
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"(telemetry: %d jobs ok, %d failed; %d insts detailed, %d predicted; metrics -> %s)\n",
 			snap.SumCounters("engine_jobs_total", obs.L("status", "ok")),
 			snap.SumCounters("engine_jobs_total", obs.L("status", "error")),
 			snap.SumCounters("photon_insts_detailed_total"),
 			snap.SumCounters("photon_insts_predicted_total"),
-			*metricsOut)
+			f.metricsOut)
 	}
 	if o.Trace != nil {
 		if n := o.Trace.Dropped(); n > 0 {
-			fmt.Fprintf(os.Stderr, "photon-bench: warning: %d trace events dropped (buffer full)\n", n)
+			fmt.Fprintf(stderr, "photon-bench: warning: %d trace events dropped (buffer full)\n", n)
 		}
-		if err := o.Trace.WriteFile(*traceOut); err != nil {
-			fmt.Fprintf(os.Stderr, "photon-bench: writing trace: %v\n", err)
-			os.Exit(1)
+		if err := o.Trace.WriteFile(f.traceOut); err != nil {
+			fmt.Fprintf(stderr, "photon-bench: writing trace: %v\n", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "(telemetry: %d trace events -> %s)\n", o.Trace.Len(), *traceOut)
+		fmt.Fprintf(stderr, "(telemetry: %d trace events -> %s)\n", o.Trace.Len(), f.traceOut)
 	}
+	return 0
 }

@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"photon/internal/buildinfo"
 	"photon/internal/harness"
 	"photon/internal/obs"
 	"photon/internal/sim/gpu"
@@ -22,81 +24,95 @@ import (
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with testable plumbing; all failure paths — including
+// the deferred profile writes — land in the exit code. 0 = success,
+// 1 = runtime failure, 2 = usage.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("photon-observe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp        = flag.String("exp", "all", "figure: fig1|fig2|fig3|fig4|fig6|fig8|fig11|all")
-		arch       = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
-		svgDir     = flag.String("svg", "", "also render figures as SVG into this directory (fig1)")
-		parallel   = flag.Int("parallel", 0, "worker count for per-figure jobs (<= 0: one per CPU)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		exp        = fs.String("exp", "all", "figure: fig1|fig2|fig3|fig4|fig6|fig8|fig11|all")
+		arch       = fs.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
+		svgDir     = fs.String("svg", "", "also render figures as SVG into this directory (fig1)")
+		parallel   = fs.Int("parallel", 0, "worker count for per-figure jobs (<= 0: one per CPU)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		version    = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Print("photon-observe"))
+		return 0
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "photon-observe: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "photon-observe: %v\n", err)
+		return 1
 	}
-	defer func() {
-		if err := stopProfiles(); err != nil {
-			fmt.Fprintf(os.Stderr, "photon-observe: profiles: %v\n", err)
+	code := runFigures(*exp, *arch, *svgDir, *parallel, stdout, stderr)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(stderr, "photon-observe: profiles: %v\n", err)
+		if code == 0 {
+			code = 1
 		}
-	}()
+	}
+	return code
+}
 
-	cfg, ok := gpu.Configs(*arch)
+func runFigures(exp, arch, svgDir string, parallel int, stdout, stderr io.Writer) int {
+	cfg, ok := gpu.Configs(arch)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "photon-observe: unknown arch %q\n", *arch)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "photon-observe: unknown arch %q\n", arch)
+		return 2
 	}
-	w := os.Stdout
-	all := *exp == "all"
-	fail := func(err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "photon-observe: %v\n", err)
-			os.Exit(1)
-		}
+	all := exp == "all"
+	figures := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig1", func() error {
+			if err := harness.Fig1(stdout, cfg, parallel); err != nil {
+				return err
+			}
+			if svgDir != "" {
+				return renderFig1SVG(stdout, svgDir, cfg, parallel)
+			}
+			return nil
+		}},
+		{"fig2", func() error { return harness.Fig2(stdout, cfg, parallel) }},
+		{"fig3", func() error { return harness.Fig3(stdout, cfg, parallel) }},
+		{"fig4", func() error { return harness.Fig4(stdout, cfg, parallel) }},
+		// A reduced DNN scale keeps the full-detailed VGG pass short.
+		{"fig6", func() error { return harness.Fig6(stdout, cfg, dnn.Scale{Input: 32, ChannelDiv: 8}) }},
+		{"fig8", func() error { return harness.Fig8(stdout, parallel) }},
+		{"fig11", func() error { return harness.Fig11(stdout, parallel) }},
 	}
 	known := false
-	if all || *exp == "fig1" {
-		fail(harness.Fig1(w, cfg, *parallel))
-		if *svgDir != "" {
-			fail(renderFig1SVG(*svgDir, cfg, *parallel))
+	for _, f := range figures {
+		if !all && exp != f.name {
+			continue
 		}
 		known = true
-	}
-	if all || *exp == "fig2" {
-		fail(harness.Fig2(w, cfg, *parallel))
-		known = true
-	}
-	if all || *exp == "fig3" {
-		fail(harness.Fig3(w, cfg, *parallel))
-		known = true
-	}
-	if all || *exp == "fig4" {
-		fail(harness.Fig4(w, cfg, *parallel))
-		known = true
-	}
-	if all || *exp == "fig6" {
-		// A reduced DNN scale keeps the full-detailed VGG pass short.
-		fail(harness.Fig6(w, cfg, dnn.Scale{Input: 32, ChannelDiv: 8}))
-		known = true
-	}
-	if all || *exp == "fig8" {
-		fail(harness.Fig8(w, *parallel))
-		known = true
-	}
-	if all || *exp == "fig11" {
-		fail(harness.Fig11(w, *parallel))
-		known = true
+		if err := f.run(); err != nil {
+			fmt.Fprintf(stderr, "photon-observe: %v\n", err)
+			return 1
+		}
 	}
 	if !known {
-		fmt.Fprintf(os.Stderr, "photon-observe: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "photon-observe: unknown experiment %q\n", exp)
+		return 2
 	}
+	return 0
 }
 
 // renderFig1SVG writes the Figure 1 IPC-over-time line chart.
-func renderFig1SVG(dir string, cfg gpu.Config, parallel int) error {
+func renderFig1SVG(stdout io.Writer, dir string, cfg gpu.Config, parallel int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -114,6 +130,6 @@ func renderFig1SVG(dir string, cfg gpu.Config, parallel int) error {
 	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return nil
 }

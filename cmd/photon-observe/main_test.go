@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regression test for the exit-code bug: a failing deferred profile write
+// used to leave the exit code 0.
+func TestExitNonZeroWhenProfileWriteFails(t *testing.T) {
+	badPath := filepath.Join(t.TempDir(), "missing-dir", "mem.prof")
+	var out, errBuf bytes.Buffer
+	// Every figure simulates for seconds, so pair the failing profile with
+	// an unknown -exp: the run short-circuits cheaply (exit 2) and the
+	// profile stop still executes and reports on stderr. The regression
+	// being guarded: stopProfiles failures must never leave the code at 0.
+	code := realMain([]string{"-exp", "nope", "-memprofile", badPath}, &out, &errBuf)
+	if code == 0 {
+		t.Fatalf("exit code = 0, want non-zero\nstderr: %s", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "profiles") {
+		t.Errorf("stderr missing profile failure: %q", errBuf.String())
+	}
+}
+
+func TestUsageExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown experiment", []string{"-exp", "fig99"}, 2},
+		{"unknown arch", []string{"-arch", "h100"}, 2},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"version", []string{"-version"}, 0},
+	}
+	for _, tc := range cases {
+		var out, errBuf bytes.Buffer
+		if code := realMain(tc.args, &out, &errBuf); code != tc.want {
+			t.Errorf("%s: exit = %d, want %d (stderr: %s)", tc.name, code, tc.want, errBuf.String())
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := realMain([]string{"-version"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "photon-observe ") {
+		t.Errorf("-version output = %q", out.String())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"photon/internal/buildinfo"
 	"photon/internal/harness"
 	"photon/internal/obs"
 )
@@ -20,8 +21,13 @@ func main() {
 	var (
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("photon-report"))
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: photon-report <results.jsonl> [...]")
 		os.Exit(2)

@@ -1,0 +1,123 @@
+// Command photon-serve is the photon simulation service: a stdlib-only HTTP
+// daemon that accepts simulation and experiment jobs, runs them on a bounded
+// worker pool over the harness job-graph engine, and answers repeated
+// submissions from a content-addressed result cache.
+//
+//	photon-serve -addr :8080 -workers 2 -queue-depth 16
+//
+// API (see internal/serve):
+//
+//	POST   /v1/jobs             submit (202; 200 on cache hit; 429 when full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result terminal artifacts
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	DELETE /v1/jobs/{id}        cancel one submission
+//	GET    /healthz /readyz /metrics
+//
+// SIGTERM/SIGINT starts a graceful drain: admission stops (readyz turns
+// 503), queued and running jobs finish (bounded by -drain-timeout), then
+// the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"photon/internal/buildinfo"
+	"photon/internal/harness"
+	"photon/internal/obs"
+	"photon/internal/serve"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("photon-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 1, "concurrent job executions")
+		queueDepth   = fs.Int("queue-depth", 16, "pending jobs admitted beyond the running ones")
+		jobParallel  = fs.Int("job-parallel", 0, "default engine workers per job (<= 0: one per CPU)")
+		timeout      = fs.Duration("default-timeout", 0, "default per-job deadline, queue wait included (0: none)")
+		retryAfter   = fs.Duration("retry-after", 2*time.Second, "backoff hint attached to 429 responses")
+		drainTimeout = fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
+		maxCached    = fs.Int("max-cached", 512, "completed results kept for cache hits")
+		version      = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.Print("photon-serve"))
+		return 0
+	}
+
+	reg := obs.NewRegistry()
+	sched := serve.NewScheduler(serve.Config{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		JobParallel:      *jobParallel,
+		DefaultTimeout:   *timeout,
+		RetryAfter:       *retryAfter,
+		MaxCachedResults: *maxCached,
+		Metrics:          reg,
+		Baselines:        harness.NewBaselineCache(),
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.NewServer(sched, reg).Handler(),
+	}
+
+	// Bind before announcing readiness so a supervisor that starts probing
+	// right after exec never sees a connection refused from a live process.
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "photon-serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "photon-serve: %s\n", buildinfo.Get())
+	fmt.Fprintf(stderr, "photon-serve: listening on %s (workers=%d queue=%d)\n",
+		ln.Addr(), *workers, *queueDepth)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stderr, "photon-serve: %v: draining (timeout %s)\n", sig, *drainTimeout)
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "photon-serve: serve: %v\n", err)
+		return 1
+	}
+
+	// Graceful drain: stop admitting (readyz goes 503 via sched.Draining),
+	// let queued and in-flight jobs finish, then close the listener. Jobs
+	// still running at the deadline are hard-cancelled through their
+	// contexts; that is a clean shutdown too, just a less patient one.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := sched.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "photon-serve: drain: %v (in-flight jobs cancelled)\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "photon-serve: shutdown: %v\n", err)
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(stderr, "photon-serve: drained, bye")
+	return 0
+}

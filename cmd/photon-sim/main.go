@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"photon/internal/baseline/pka"
+	"photon/internal/buildinfo"
 	"photon/internal/core"
 	"photon/internal/harness"
 	"photon/internal/obs"
@@ -26,14 +27,14 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "MM", "benchmark: AES|FIR|SC|MM|ReLU|SPMV|pr|vgg16|vgg19|resnet18|resnet34|resnet50|resnet101|resnet152")
-		size      = flag.Int("size", 0, "problem size in warps (single-kernel benchmarks; 0 = first figure size); node count for pr")
-		arch      = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
-		mode      = flag.String("mode", "photon", "runner: full|photon|pka|bb|warp|kernel")
-		perKernel = flag.Bool("per-kernel", false, "print one row per kernel launch")
-		check     = flag.Bool("check", false, "verify functional correctness after simulation (where supported)")
-		store     = flag.String("analysis-store", "", "offline Photon: JSON file caching online-analysis profiles (created if missing)")
-		splitWait = flag.Bool("split-waitcnt", false, "also end basic blocks at s_waitcnt (paper future-work variant)")
+		bench      = flag.String("bench", "MM", "benchmark: AES|FIR|SC|MM|ReLU|SPMV|pr|vgg16|vgg19|resnet18|resnet34|resnet50|resnet101|resnet152")
+		size       = flag.Int("size", 0, "problem size in warps (single-kernel benchmarks; 0 = first figure size); node count for pr")
+		arch       = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
+		mode       = flag.String("mode", "photon", "runner: full|photon|pka|bb|warp|kernel")
+		perKernel  = flag.Bool("per-kernel", false, "print one row per kernel launch")
+		check      = flag.Bool("check", false, "verify functional correctness after simulation (where supported)")
+		store      = flag.String("analysis-store", "", "offline Photon: JSON file caching online-analysis profiles (created if missing)")
+		splitWait  = flag.Bool("split-waitcnt", false, "also end basic blocks at s_waitcnt (paper future-work variant)")
 		tracePath  = flag.String("trace", "", "write an execution trace (full mode only)")
 		traceLvl   = flag.String("trace-level", "warp", "trace detail: warp|block|inst")
 		disasm     = flag.Bool("disasm", false, "print each kernel's disassembly and exit")
@@ -41,8 +42,13 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("photon-sim"))
+		return
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"photon/internal/buildinfo"
 	"photon/internal/harness"
 	"photon/internal/obs"
 	"photon/internal/viz"
@@ -25,8 +26,13 @@ func main() {
 		outDir     = flag.String("out", ".", "directory for the SVG files")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("photon-viz"))
+		return
+	}
 	if *jsonPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: photon-viz -json results.jsonl [-out dir]")
 		os.Exit(2)

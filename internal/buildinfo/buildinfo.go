@@ -1,0 +1,72 @@
+// Package buildinfo reports what binary is running: the module version and
+// the VCS state baked in by the Go toolchain. Every photon CLI exposes it
+// behind -version, and photon-serve reports it in /healthz so operators can
+// tell which build is answering.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	Version  string `json:"version"`            // module version, or "devel"
+	Revision string `json:"revision,omitempty"` // VCS commit hash
+	Time     string `json:"time,omitempty"`     // VCS commit time (RFC 3339)
+	Modified bool   `json:"modified,omitempty"` // built from a dirty tree
+	Go       string `json:"go"`                 // toolchain, e.g. "go1.24.0"
+}
+
+// Get reads the binary's build information. It degrades gracefully: test
+// binaries and toolchains without VCS stamping yield Version "devel" with
+// empty VCS fields.
+func Get() Info {
+	info := Info{Version: "devel", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		info.Version = v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info as the one-line -version output:
+//
+//	photon-serve devel (rev 3b4f706, 2026-08-05T..., modified) go1.24.0
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += fmt.Sprintf(" (rev %s", rev)
+		if i.Time != "" {
+			s += ", " + i.Time
+		}
+		if i.Modified {
+			s += ", modified"
+		}
+		s += ")"
+	}
+	return s + " " + i.Go
+}
+
+// Print writes "<name> <info>" — the body of every CLI's -version flag.
+func Print(name string) string {
+	return name + " " + Get().String()
+}

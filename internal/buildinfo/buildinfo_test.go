@@ -1,0 +1,39 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetIsTotal(t *testing.T) {
+	info := Get()
+	if info.Version == "" {
+		t.Fatal("Version must never be empty")
+	}
+	if !strings.HasPrefix(info.Go, "go") {
+		t.Fatalf("Go = %q, want a toolchain version", info.Go)
+	}
+}
+
+func TestStringShape(t *testing.T) {
+	i := Info{Version: "v1.2.3", Revision: "abcdef0123456789", Time: "2026-08-05T00:00:00Z", Modified: true, Go: "go1.24.0"}
+	got := i.String()
+	for _, want := range []string{"v1.2.3", "rev abcdef012345", "2026-08-05", "modified", "go1.24.0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "abcdef0123456789") {
+		t.Fatalf("String() = %q, revision not truncated", got)
+	}
+	bare := Info{Version: "devel", Go: "go1.24.0"}
+	if got := bare.String(); got != "devel go1.24.0" {
+		t.Fatalf("bare String() = %q", got)
+	}
+}
+
+func TestPrintCarriesName(t *testing.T) {
+	if got := Print("photon-serve"); !strings.HasPrefix(got, "photon-serve ") {
+		t.Fatalf("Print = %q", got)
+	}
+}

@@ -101,6 +101,7 @@ func RunObserved[T any](ctx context.Context, parallel int, tasks []Task[T], ins 
 	if len(tasks) == 0 {
 		return nil
 	}
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -163,12 +164,15 @@ func RunObserved[T any](ctx context.Context, parallel int, tasks []Task[T], ins 
 	defer wg.Wait()
 
 	var errs []error
+	skipped := false
 	for i := range tasks {
 		<-results[i].done
 		r := &results[i]
 		switch {
 		case r.skipped:
-			// A job behind the first failure that never started.
+			// A job behind the first failure — or behind an external
+			// cancellation — that never started.
+			skipped = true
 		case r.err != nil:
 			errs = append(errs, fmt.Errorf("job %d: %w", i, r.err))
 		case len(errs) == 0:
@@ -189,6 +193,14 @@ func RunObserved[T any](ctx context.Context, parallel int, tasks []Task[T], ins 
 				reg.Gauge("engine_worker_utilization", lw).Set(busy[w].Seconds() / elapsed)
 			}
 		}
+	}
+	// External cancellation (the caller's ctx, not the engine's own
+	// cancel-on-first-failure) must surface as an error even when no task
+	// had started yet: a run whose jobs were skipped is not a successful
+	// run. Runs that completed every task before the cancel arrived still
+	// return nil — all their work was emitted.
+	if len(errs) == 0 && skipped && parent.Err() != nil {
+		return parent.Err()
 	}
 	return errors.Join(errs...)
 }

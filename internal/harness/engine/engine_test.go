@@ -196,3 +196,142 @@ func TestRunEmptyPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunObservedExternalCancel cancels the caller's context mid-run and
+// checks the run reports the cancellation instead of returning nil with
+// silently skipped jobs (photon-serve relies on this to mark cancelled and
+// deadline-exceeded jobs as failed rather than succeeded-empty).
+func TestRunObservedExternalCancel(t *testing.T) {
+	const n = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(tctx context.Context) (int, error) {
+			if i == 0 {
+				cancel()             // first job triggers external cancellation
+				<-release            // and holds its worker until we let go
+				return 0, tctx.Err() // a well-behaved long task reports ctx
+			}
+			return i, nil
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- RunObserved(ctx, 1, tasks, Instrumentation{},
+			func(int, int, JobMeta) error { return nil })
+	}()
+	close(release)
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("external cancel returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunObservedCancelBeforeStart covers the race where the context is
+// already dead when the run begins: every job is skipped, and the run must
+// still return the cancellation error.
+func TestRunObservedCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Int32{}
+	tasks := []Task[int]{func(context.Context) (int, error) { ran.Add(1); return 1, nil }}
+	err := RunObserved(ctx, 1, tasks, Instrumentation{}, func(int, int, JobMeta) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+	// The single worker may or may not have popped the index before seeing
+	// ctx.Err(); either way nothing may be emitted and the error must stand.
+	_ = ran.Load()
+}
+
+// TestRunsCancelIndependently is the serve-layer guarantee at engine
+// granularity: two concurrent runs with sibling contexts — cancelling one
+// run must not cancel, skip or fail jobs of the other.
+func TestRunsCancelIndependently(t *testing.T) {
+	const n = 24
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	ctxB, cancelB := context.WithCancel(context.Background())
+	defer cancelB()
+
+	started := make(chan struct{})
+	tasksA := make([]Task[int], n)
+	for i := range tasksA {
+		i := i
+		tasksA[i] = func(tctx context.Context) (int, error) {
+			if i == 0 {
+				close(started)
+				<-tctx.Done() // park until our own run is cancelled
+				return 0, tctx.Err()
+			}
+			return i, nil
+		}
+	}
+	doneA := make(chan error, 1)
+	go func() {
+		doneA <- RunObserved(ctxA, 2, tasksA, Instrumentation{},
+			func(int, int, JobMeta) error { return nil })
+	}()
+
+	<-started
+	cancelA()
+	if err := <-doneA; err == nil {
+		t.Fatal("cancelled run A returned nil")
+	}
+
+	// Run B starts after A is torn down but shares nothing with it; it must
+	// complete every job.
+	tasksB := make([]Task[int], n)
+	for i := range tasksB {
+		i := i
+		tasksB[i] = func(context.Context) (int, error) { return i, nil }
+	}
+	emitted := 0
+	if err := RunObserved(ctxB, 2, tasksB, Instrumentation{},
+		func(int, int, JobMeta) error { emitted++; return nil }); err != nil {
+		t.Fatalf("sibling run B failed after A's cancellation: %v", err)
+	}
+	if emitted != n {
+		t.Fatalf("run B emitted %d of %d jobs", emitted, n)
+	}
+}
+
+// TestQueueWaitUnderSaturation admits more jobs than workers and checks the
+// reported queue wait grows for jobs that had to wait for a worker slot:
+// with one worker and sleeping tasks, job i cannot start before i earlier
+// tasks ran, so its QueueWait must be at least their summed wall time.
+func TestQueueWaitUnderSaturation(t *testing.T) {
+	const (
+		n     = 4
+		sleep = 30 * time.Millisecond
+	)
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(context.Context) (int, error) {
+			time.Sleep(sleep)
+			return i, nil
+		}
+	}
+	waits := make([]time.Duration, n)
+	err := RunObserved(context.Background(), 1, tasks, Instrumentation{},
+		func(i int, _ int, meta JobMeta) error {
+			waits[i] = meta.QueueWait
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if waits[i] < waits[i-1] {
+			t.Fatalf("queue waits not monotone under 1 worker: %v", waits)
+		}
+	}
+	// Generous 50% slack: timers on loaded CI runners undershoot sleeps.
+	if min := time.Duration(n-1) * sleep / 2; waits[n-1] < min {
+		t.Fatalf("last job queue wait %v, want >= %v (saturated queue)", waits[n-1], min)
+	}
+}

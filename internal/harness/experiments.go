@@ -47,6 +47,19 @@ type Options struct {
 	// Trace, when non-nil, collects Chrome trace-event spans for engine jobs
 	// and simulated kernels.
 	Trace *obs.TraceBuffer
+	// Context, when non-nil, bounds the experiment: cancellation or a
+	// deadline stops the job graph at the next task boundary and stops
+	// in-flight simulations at the next kernel launch. photon-serve sets a
+	// per-request context here; the CLIs leave it nil (background).
+	Context context.Context
+}
+
+// ctx resolves the experiment context (background when unset).
+func (o Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
 
 // DefaultOptions returns the full-experiment configuration.
@@ -192,8 +205,8 @@ func Fig17(w io.Writer, o Options) error {
 		cache = NewBaselineCache()
 	}
 	tasks := []engine.Task[Comparison]{
-		func(context.Context) (Comparison, error) {
-			full, err := cache.Full(key, cfg, build)
+		func(ctx context.Context) (Comparison, error) {
+			full, err := cache.FullCtx(ctx, key, cfg, build)
 			if err != nil {
 				return Comparison{}, err
 			}
@@ -202,8 +215,8 @@ func Fig17(w io.Writer, o Options) error {
 	}
 	for _, f := range variants {
 		f := f
-		tasks = append(tasks, func(context.Context) (Comparison, error) {
-			full, err := cache.Full(key, cfg, build)
+		tasks = append(tasks, func(ctx context.Context) (Comparison, error) {
+			full, err := cache.FullCtx(ctx, key, cfg, build)
 			if err != nil {
 				return Comparison{}, err
 			}
@@ -211,7 +224,7 @@ func Fig17(w io.Writer, o Options) error {
 			if err != nil {
 				return Comparison{}, err
 			}
-			res, err := RunApp(cfg, app, f.New(cfg))
+			res, err := RunAppCtx(ctx, cfg, app, f.New(cfg))
 			if err != nil {
 				return Comparison{}, err
 			}
@@ -219,7 +232,7 @@ func Fig17(w io.Writer, o Options) error {
 		})
 	}
 	var comparisons []Comparison
-	err := engine.Run(context.Background(), o.Parallel, tasks, func(_ int, c Comparison) error {
+	err := engine.Run(o.ctx(), o.Parallel, tasks, func(_ int, c Comparison) error {
 		c = o.normalize(c)
 		comparisons = append(comparisons, c)
 		return o.JSON.Emit(ToRecord(experiment, c, true))
@@ -328,7 +341,7 @@ func Offline(w io.Writer, o Options) error {
 		}
 		ph := core.MustNew(cfg, o.Params, core.AllLevels())
 		ph.SetStore(store)
-		res, err := RunApp(cfg, app, ph)
+		res, err := RunAppCtx(o.ctx(), cfg, app, ph)
 		if err != nil {
 			return AppResult{}, err
 		}

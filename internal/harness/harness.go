@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -42,6 +43,11 @@ func RunApp(cfg gpu.Config, app *workloads.App, runner gpu.Runner) (AppResult, e
 	return RunAppObs(cfg, app, runner, nil, nil, 0)
 }
 
+// RunAppCtx is RunApp with cancellation at kernel-launch granularity.
+func RunAppCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runner gpu.Runner) (AppResult, error) {
+	return runAppObsCtx(ctx, cfg, app, runner, nil, nil, 0)
+}
+
 // simPID is the trace-event process id under which per-kernel simulation
 // spans are grouped (harness-engine jobs use their own pid).
 const simPID = 2
@@ -57,6 +63,22 @@ type metricSetter interface{ SetMetrics(*obs.Registry) }
 // not overlap). A nil registry and trace buffer make it equivalent to
 // RunApp.
 func RunAppObs(cfg gpu.Config, app *workloads.App, runner gpu.Runner, reg *obs.Registry, tr *obs.TraceBuffer, tid int) (AppResult, error) {
+	return runAppObsCtx(context.Background(), cfg, app, runner, reg, tr, tid)
+}
+
+// RunAppObsCtx is RunAppObs with cancellation at kernel-launch granularity;
+// sweep jobs pass their engine task context so one cancelled service job
+// stops simulating without touching its siblings.
+func RunAppObsCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runner gpu.Runner, reg *obs.Registry, tr *obs.TraceBuffer, tid int) (AppResult, error) {
+	return runAppObsCtx(ctx, cfg, app, runner, reg, tr, tid)
+}
+
+// runAppObsCtx is the shared implementation: it checks ctx between kernel
+// launches, so a cancelled or deadline-exceeded job stops within one kernel
+// of the signal instead of simulating the rest of the application. The
+// partial result accumulated so far is returned alongside the context error
+// (callers that checkpoint in-flight work keep it; everyone else discards).
+func runAppObsCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runner gpu.Runner, reg *obs.Registry, tr *obs.TraceBuffer, tid int) (AppResult, error) {
 	g := gpu.New(cfg)
 	if reg != nil {
 		g.SetMetrics(reg)
@@ -67,6 +89,9 @@ func RunAppObs(cfg gpu.Config, app *workloads.App, runner gpu.Runner, reg *obs.R
 	tr.NameProcess(simPID, "simulation")
 	res := AppResult{Runner: runner.Name()}
 	for _, l := range app.Launches {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("harness: %s/%s under %s: %w", app.Name, l.Name, runner.Name(), err)
+		}
 		start := time.Now()
 		r, err := runner.RunKernel(g, l)
 		if err != nil {

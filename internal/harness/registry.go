@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"photon/internal/core"
+	"photon/internal/sim/gpu"
+	"photon/internal/workloads"
+	"photon/internal/workloads/dnn"
+)
+
+// This file is the experiment registry: the single table mapping experiment
+// names to their runners, shared by photon-bench (one-shot CLI sweeps) and
+// photon-serve (long-lived service jobs). Every entry is a pure function of
+// (w, Options) — all cross-run state lives in the caller-supplied Options
+// (baseline cache, JSON sink, metrics registry), each of which is
+// individually concurrency-safe — so concurrent jobs may run different (or
+// the same) experiments with a shared Options.Baselines and never share
+// mutable state beyond it.
+
+// Experiment is one registered experiment: a stable name (the -exp /
+// request value), a one-line description, and its runner.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(w io.Writer, o Options) error
+}
+
+// Experiments lists every experiment in presentation order — the order
+// photon-bench -exp all prints them.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "GPU configurations (paper Table 1)",
+			func(w io.Writer, o Options) error { Table1(w); return nil }},
+		{"table2", "benchmark list (paper Table 2)",
+			func(w io.Writer, o Options) error { Table2(w); return nil }},
+		{"fig13", "R9 Nano: Full vs PKA vs Photon (single-kernel benchmarks)", Fig13},
+		{"fig14", "MI100: Full vs Photon (micro-architecture independence)", Fig14},
+		{"fig15", "sampling levels: BB-only, warp-only, Photon", Fig15},
+		{"fig16", "real-world applications: PageRank, VGG, ResNet", Fig16},
+		{"fig17", "VGG-16 per-layer error and speedup by sampling level", Fig17},
+		{"offline", "online vs offline Photon (Section 6.3)", Offline},
+		{"waitcnt", "basic blocks split at s_waitcnt (paper future work)", WaitcntAblation},
+		{"extensions", "Photon on atomics workloads (HIST, KMEANS, BFS)", ExtensionsExperiment},
+		{"baselines", "PKA vs TBPoint vs Photon, one size per benchmark", Baselines},
+	}
+}
+
+// FindExperiment resolves a registered experiment by name.
+func FindExperiment(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ExperimentNames returns the registered names in presentation order.
+func ExperimentNames() []string {
+	es := Experiments()
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// FactoryForMode resolves a photon-sim style mode name into the runner
+// factory the sweeps use. Sampled modes that need Photon's knobs take them
+// from params.
+func FactoryForMode(mode string, params core.Params) (RunnerFactory, error) {
+	switch mode {
+	case "full":
+		return FullFactory(), nil
+	case "photon":
+		return PhotonFactory("photon", params, core.AllLevels()), nil
+	case "bb":
+		return PhotonFactory("bb-sampling", params, core.Levels{BB: true}), nil
+	case "warp":
+		return PhotonFactory("warp-sampling", params, core.Levels{Warp: true}), nil
+	case "kernel":
+		return PhotonFactory("kernel-sampling", params, core.Levels{Kernel: true}), nil
+	case "pka":
+		return PKAFactory(), nil
+	case "tbpoint":
+		return TBPointFactory(), nil
+	}
+	return RunnerFactory{}, fmt.Errorf("unknown mode %q (want full|photon|bb|warp|kernel|pka|tbpoint)", mode)
+}
+
+// FindBench resolves a benchmark name — a Table 2 abbreviation, an
+// extension workload, "pr"/"pagerank", or a DNN model like "vgg16" or
+// "resnet50" — and a problem size (0 picks the benchmark's smallest figure
+// size; node count for PageRank; ignored for DNNs) into a sweep Point.
+func FindBench(bench string, size int) (Point, error) {
+	lower := strings.ToLower(bench)
+	switch lower {
+	case "pr", "pagerank":
+		if size == 0 {
+			size = 64 * 1024
+		}
+		nodes := size
+		return Point{
+			Bench: fmt.Sprintf("PR-%dK", nodes/1024),
+			Size:  nodes,
+			Build: func() (*workloads.App, error) { return workloads.BuildPageRank(nodes) },
+		}, nil
+	case "vgg16", "vgg19":
+		depth := 16
+		if lower == "vgg19" {
+			depth = 19
+		}
+		return Point{
+			Bench: fmt.Sprintf("VGG-%d", depth),
+			Build: func() (*workloads.App, error) { return dnn.BuildVGG(depth, dnn.DefaultScale()) },
+		}, nil
+	case "resnet18", "resnet34", "resnet50", "resnet101", "resnet152":
+		var depth int
+		fmt.Sscanf(lower, "resnet%d", &depth)
+		return Point{
+			Bench: fmt.Sprintf("ResNet-%d", depth),
+			Build: func() (*workloads.App, error) { return dnn.BuildResNet(depth, dnn.DefaultScale()) },
+		}, nil
+	}
+	spec, err := findAnySpec(bench)
+	if err != nil {
+		return Point{}, err
+	}
+	if size == 0 {
+		size = spec.Sizes[0]
+	}
+	if !validSize(spec, size) {
+		return Point{}, fmt.Errorf("benchmark %s has no size %d (sizes: %v)", spec.Abbr, size, spec.Sizes)
+	}
+	sz := size
+	return Point{
+		Bench: spec.Abbr,
+		Size:  sz,
+		Build: func() (*workloads.App, error) { return spec.Build(sz) },
+	}, nil
+}
+
+// findAnySpec looks a benchmark up in both the Table 2 and extension
+// registries, case-insensitively and via the common aliases.
+func findAnySpec(bench string) (workloads.Spec, error) {
+	name := strings.ToUpper(bench)
+	alias := map[string]string{"HISTOGRAM": "HIST", "REDUCTION": "REDUCE"}
+	if a, ok := alias[name]; ok {
+		name = a
+	}
+	if spec, err := workloads.FindSpec(name); err == nil {
+		return spec, nil
+	}
+	if spec, err := workloads.FindExtension(name); err == nil {
+		return spec, nil
+	}
+	var names []string
+	for _, s := range append(workloads.Table2(), workloads.Extensions()...) {
+		names = append(names, s.Abbr)
+	}
+	sort.Strings(names)
+	return workloads.Spec{}, fmt.Errorf("unknown benchmark %q (want one of %s, pr, vgg16/19, resnet18/34/50/101/152)",
+		bench, strings.Join(names, ", "))
+}
+
+// validSize reports whether size is one of the spec's figure sizes. Sweeps
+// accept only registered sizes so a service request can never ask for an
+// unbounded simulation.
+func validSize(spec workloads.Spec, size int) bool {
+	for _, s := range spec.Sizes {
+		if s == size {
+			return true
+		}
+	}
+	return false
+}
+
+// SimSweep builds the one-point sweep behind a photon-serve single-run job:
+// one benchmark cell compared under the given modes (the full baseline row
+// is always emitted first, like every sweep). An empty mode list measures
+// just the baseline.
+func SimSweep(cfg gpu.Config, bench string, size int, modes []string, params core.Params) (Sweep, error) {
+	pt, err := FindBench(bench, size)
+	if err != nil {
+		return Sweep{}, err
+	}
+	var factories []RunnerFactory
+	for _, m := range modes {
+		if m == "full" {
+			continue // the baseline row is implicit in every sweep
+		}
+		f, err := FactoryForMode(m, params)
+		if err != nil {
+			return Sweep{}, err
+		}
+		factories = append(factories, f)
+	}
+	return Sweep{
+		Experiment: "sim",
+		Config:     cfg,
+		Factories:  factories,
+		Points:     []Point{pt},
+	}, nil
+}

@@ -55,9 +55,11 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 	for _, pt := range s.Points {
 		pt := pt
 		key := BaselineKey{Config: s.Config.Name, Bench: pt.Bench, Size: pt.Size, Block: pt.Block}
-		baseline := func() (AppResult, error) { return cache.Full(key, s.Config, pt.Build) }
-		tasks = append(tasks, func(context.Context) (Comparison, error) {
-			full, err := baseline()
+		baseline := func(ctx context.Context) (AppResult, error) {
+			return cache.FullCtx(ctx, key, s.Config, pt.Build)
+		}
+		tasks = append(tasks, func(ctx context.Context) (Comparison, error) {
+			full, err := baseline(ctx)
 			if err != nil {
 				return Comparison{}, err
 			}
@@ -70,8 +72,8 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 		for _, f := range factories {
 			f := f
 			tid := len(tasks)
-			tasks = append(tasks, func(context.Context) (Comparison, error) {
-				full, err := baseline()
+			tasks = append(tasks, func(ctx context.Context) (Comparison, error) {
+				full, err := baseline(ctx)
 				if err != nil {
 					return Comparison{}, err
 				}
@@ -79,7 +81,7 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 				if err != nil {
 					return Comparison{}, err
 				}
-				res, err := RunAppObs(s.Config, app, f.New(s.Config), o.Metrics, o.Trace, tid)
+				res, err := RunAppObsCtx(ctx, s.Config, app, f.New(s.Config), o.Metrics, o.Trace, tid)
 				if err != nil {
 					return Comparison{}, err
 				}
@@ -88,7 +90,7 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 		}
 	}
 	ins := engine.Instrumentation{Metrics: o.Metrics, Trace: o.Trace}
-	return engine.RunObserved(context.Background(), o.Parallel, tasks, ins,
+	return engine.RunObserved(o.ctx(), o.Parallel, tasks, ins,
 		func(_ int, c Comparison, meta engine.JobMeta) error {
 			c = o.normalize(c)
 			rec := ToRecord(s.Experiment, c, true)

@@ -1,0 +1,20 @@
+package obs
+
+import "net/http"
+
+// Handler exposes a registry's Snapshot over HTTP as the same indented JSON
+// document WriteFile produces (the metrics.json artifact schema), so a
+// long-lived process can serve live telemetry from the registry that its
+// simulation layers already publish into. A nil registry serves the empty
+// snapshot, keeping the endpoint total.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Snapshots are cheap (one mutex hold to copy handles, then atomic
+		// reads), so every scrape sees fresh values; no caching.
+		if err := r.WriteJSON(w); err != nil {
+			// Headers are already out; all we can do is drop the conn.
+			return
+		}
+	})
+}

@@ -36,6 +36,7 @@ type TraceBuffer struct {
 	events  []TraceEvent
 	cap     int
 	dropped uint64
+	onEvent func(TraceEvent)
 }
 
 // NewTraceBuffer returns an empty buffer whose timestamp epoch is now.
@@ -50,12 +51,35 @@ func (b *TraceBuffer) Since(t time.Time) float64 {
 
 func (b *TraceBuffer) add(ev TraceEvent) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	hook := b.onEvent
 	if len(b.events) >= b.cap {
 		b.dropped++
+		b.mu.Unlock()
 		return
 	}
 	b.events = append(b.events, ev)
+	b.mu.Unlock()
+	// The hook runs outside the lock so it may call back into the buffer
+	// (or block briefly on a subscriber) without deadlocking emitters.
+	if hook != nil {
+		hook(ev)
+	}
+}
+
+// OnEvent registers fn to be called for every event the buffer accepts
+// (dropped events are not delivered). photon-serve uses this to stream
+// engine-job and kernel spans as live progress events while the buffer
+// keeps accumulating the downloadable trace. At most one hook is active;
+// registering replaces the previous one, and a nil fn removes it. Call
+// before emitters start: the hook is read under the buffer's mutex but
+// invoked outside it, so fn must be safe for concurrent calls.
+func (b *TraceBuffer) OnEvent(fn func(TraceEvent)) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.onEvent = fn
+	b.mu.Unlock()
 }
 
 // Complete records a complete ("X") span from start for duration d.

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalizeAppliesDefaults(t *testing.T) {
+	c, err := Canonicalize(JobRequest{Bench: "mm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arch != "r9nano" {
+		t.Errorf("Arch = %q, want r9nano", c.Arch)
+	}
+	if len(c.Modes) != 1 || c.Modes[0] != "photon" {
+		t.Errorf("Modes = %v, want [photon]", c.Modes)
+	}
+	if c.Size != 1024 {
+		t.Errorf("Size = %d, want the smallest MM size 1024", c.Size)
+	}
+	if c.Bench != "MM" {
+		t.Errorf("Bench = %q, want spec abbreviation MM", c.Bench)
+	}
+}
+
+// Canonicalize must be idempotent: clients resubmit the Request field of a
+// returned status verbatim, and that round trip must hash identically.
+func TestCanonicalizeIdempotent(t *testing.T) {
+	reqs := []JobRequest{
+		{Bench: "mm"},
+		{Bench: "SPMV", Size: 8192, Arch: "mi100", Modes: []string{"pka", "photon", "pka"}},
+		{Bench: "pagerank"},
+		{Bench: "VGG16"},
+		{Bench: "resnet50"},
+		{Bench: "histogram"},
+		{Experiment: "fig13", Quick: true, FixedWall: true},
+	}
+	for _, req := range reqs {
+		once, err := Canonicalize(req)
+		if err != nil {
+			t.Fatalf("Canonicalize(%+v): %v", req, err)
+		}
+		twice, err := Canonicalize(once)
+		if err != nil {
+			t.Fatalf("re-Canonicalize(%+v): %v", once, err)
+		}
+		if Hash(once) != Hash(twice) {
+			t.Errorf("Canonicalize not idempotent: %+v -> %+v -> %+v", req, once, twice)
+		}
+	}
+}
+
+func TestCanonicalizeNormalizesEquivalentRequests(t *testing.T) {
+	a, err := Canonicalize(JobRequest{Bench: "mm", Size: 1024, Arch: "r9nano", Modes: []string{"photon"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize(JobRequest{Bench: "MM"}) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(a) != Hash(b) {
+		t.Errorf("explicit and defaulted spellings hash differently:\n%+v\n%+v", a, b)
+	}
+	// Mode order and duplicates must not matter.
+	c1, _ := Canonicalize(JobRequest{Bench: "mm", Modes: []string{"pka", "photon"}})
+	c2, _ := Canonicalize(JobRequest{Bench: "mm", Modes: []string{"photon", "pka", "photon"}})
+	if Hash(c1) != Hash(c2) {
+		t.Error("mode order/duplicates changed the hash")
+	}
+}
+
+func TestExecutionHintsNotHashed(t *testing.T) {
+	plain, err := Canonicalize(JobRequest{Bench: "mm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted, err := Canonicalize(JobRequest{Bench: "mm", Parallel: 8, TimeoutMS: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Hash(plain) != Hash(hinted) {
+		t.Error("Parallel/TimeoutMS leaked into the content hash")
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		req  JobRequest
+		want string
+	}{
+		{"empty", JobRequest{}, "needs either"},
+		{"both shapes", JobRequest{Experiment: "fig13", Bench: "mm"}, "no bench"},
+		{"unknown experiment", JobRequest{Experiment: "fig99"}, "unknown experiment"},
+		{"unknown bench", JobRequest{Bench: "nope"}, "unknown benchmark"},
+		{"unknown arch", JobRequest{Bench: "mm", Arch: "h100"}, "unknown arch"},
+		{"unknown mode", JobRequest{Bench: "mm", Modes: []string{"magic"}}, "unknown mode"},
+		{"bad size", JobRequest{Bench: "mm", Size: 7}, "no size"},
+		{"pr_nodes on sim job", JobRequest{Bench: "pr", PRNodes: 4096}, "experiment jobs only"},
+	}
+	for _, tc := range cases {
+		_, err := Canonicalize(tc.req)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHashDistinguishesContent(t *testing.T) {
+	a, _ := Canonicalize(JobRequest{Bench: "mm"})
+	b, _ := Canonicalize(JobRequest{Bench: "mm", Size: 4096})
+	c, _ := Canonicalize(JobRequest{Bench: "mm", Arch: "mi100"})
+	d, _ := Canonicalize(JobRequest{Experiment: "fig13"})
+	e, _ := Canonicalize(JobRequest{Experiment: "fig13", Quick: true})
+	hashes := map[string]string{}
+	for name, h := range map[string]string{
+		"size": Hash(b), "arch": Hash(c), "exp": Hash(d), "exp-quick": Hash(e), "base": Hash(a),
+	} {
+		if prev, dup := hashes[h]; dup {
+			t.Errorf("hash collision between %s and %s", prev, name)
+		}
+		hashes[h] = name
+	}
+}

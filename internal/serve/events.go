@@ -1,0 +1,79 @@
+package serve
+
+import "sync"
+
+// eventHub is one execution's progress broadcaster. Subscribers get a
+// replay of everything published so far (so a client that attaches after
+// the job started still sees the whole lifecycle) followed by live events;
+// after the terminal event the hub closes every channel. Publishing never
+// blocks the execution: a subscriber that stops draining its buffered
+// channel loses events rather than stalling the worker pool.
+type eventHub struct {
+	mu     sync.Mutex
+	past   []Event
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+// subBuffer is each subscriber's channel capacity. Deep enough for a full
+// quick sweep's spans; a slow SSE client that falls further behind than
+// this drops events (documented behavior, not an error).
+const subBuffer = 256
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[chan Event]struct{})}
+}
+
+// publish records ev and forwards it to every live subscriber.
+func (h *eventHub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.past = append(h.past, ev)
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop rather than block the execution
+		}
+	}
+}
+
+// close ends the stream: subscribers' channels are closed after the events
+// already queued, and future subscribers get replay-then-closed.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = nil
+}
+
+// subscribe returns the replay of past events plus a live channel (nil and
+// closed-state when the hub already ended — the replay is still complete
+// because the terminal event is always published before close). cancel
+// detaches the subscriber; it is safe to call after the hub closed.
+func (h *eventHub) subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = append([]Event(nil), h.past...)
+	if h.closed {
+		return replay, nil, func() {}
+	}
+	ch := make(chan Event, subBuffer)
+	h.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}

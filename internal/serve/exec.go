@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"photon/internal/harness"
+	"photon/internal/obs"
+	"photon/internal/sim/gpu"
+)
+
+// HarnessExecutor returns the production executor: it bridges canonical
+// requests onto internal/harness, running either a registered experiment or
+// a one-point SimSweep. Each execution gets a private TraceBuffer whose
+// events feed the job's progress stream, while the shared baseline cache and
+// metrics registry flow in through Hooks. The text artifact reproduces
+// photon-bench stdout byte-for-byte (header, rows, and the blank line
+// photon-bench prints after each experiment), so a served result diffs clean
+// against the CLI's.
+func HarnessExecutor() Executor {
+	return func(ctx context.Context, req JobRequest, h Hooks) (Output, error) {
+		o := harness.DefaultOptions()
+		o.Quick = req.Quick
+		o.FixedWall = req.FixedWall
+		if req.PRNodes > 0 {
+			o.PRNodes = req.PRNodes
+		}
+		o.Parallel = h.Parallel
+		o.Baselines = h.Baselines
+		if o.Baselines == nil {
+			o.Baselines = harness.NewBaselineCache()
+		}
+		o.Metrics = h.Metrics
+		o.Context = ctx
+
+		// Per-execution trace: spans double as live progress events. The
+		// buffer itself is discarded with the execution — the service keeps
+		// results, not traces.
+		tr := obs.NewTraceBuffer()
+		if h.Progress != nil {
+			progress := h.Progress
+			tr.OnEvent(func(ev obs.TraceEvent) {
+				if ev.Ph != "X" {
+					return
+				}
+				progress(Event{Type: "span", Name: ev.Name, Cat: ev.Cat, DurMS: ev.Dur / 1000})
+			})
+		}
+		o.Trace = tr
+
+		var text, jsonl strings.Builder
+		o.JSON = harness.NewJSONSink(&jsonl)
+
+		if req.Experiment != "" {
+			e, ok := harness.FindExperiment(req.Experiment)
+			if !ok {
+				return Output{}, fmt.Errorf("unknown experiment %q", req.Experiment)
+			}
+			if err := e.Run(&text, o); err != nil {
+				return Output{Text: text.String(), JSONL: jsonl.String()}, err
+			}
+			// photon-bench prints a blank line after each experiment; match
+			// it so Output diffs clean against `photon-bench -exp <name>`.
+			text.WriteString("\n")
+			return Output{Text: text.String(), JSONL: jsonl.String()}, nil
+		}
+
+		cfg, ok := gpu.Configs(req.Arch)
+		if !ok {
+			return Output{}, fmt.Errorf("unknown arch %q", req.Arch)
+		}
+		sweep, err := harness.SimSweep(cfg, req.Bench, req.Size, req.Modes, o.Params)
+		if err != nil {
+			return Output{}, err
+		}
+		harness.PrintHeader(&text)
+		if err := o.RunSweep(&text, sweep); err != nil {
+			return Output{Text: text.String(), JSONL: jsonl.String()}, err
+		}
+		return Output{Text: text.String(), JSONL: jsonl.String()}, nil
+	}
+}

@@ -1,0 +1,540 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"photon/internal/harness"
+	"photon/internal/obs"
+)
+
+// Output is what one execution produces: the text artifact (photon-bench
+// stdout) and the JSON-lines records (the -json artifact).
+type Output struct {
+	Text  string
+	JSONL string
+}
+
+// Hooks is what the scheduler lends an executor for one run: the progress
+// sink feeding the job's SSE stream, the engine worker count, and the
+// process-wide shared state (baseline cache, metrics registry).
+type Hooks struct {
+	Progress  func(Event)
+	Parallel  int
+	Baselines *harness.BaselineCache
+	Metrics   *obs.Registry
+}
+
+// Executor runs one canonical request to completion. It must honor ctx —
+// that is the only mechanism behind job cancellation, per-request deadlines
+// and drain-timeout hard stops.
+type Executor func(ctx context.Context, req JobRequest, h Hooks) (Output, error)
+
+// Config sizes the scheduler. Zero values pick the documented defaults.
+type Config struct {
+	// Workers is the number of concurrent executions (default 1: each
+	// execution already parallelizes internally via the engine's pool).
+	Workers int
+	// QueueDepth bounds how many admitted executions may wait for a worker
+	// (default 16). Beyond it, Submit returns ErrQueueFull (429).
+	QueueDepth int
+	// JobParallel is the default engine worker count per execution
+	// (<= 0: one per CPU), overridable per request.
+	JobParallel int
+	// DefaultTimeout bounds each job end-to-end, queue wait included,
+	// when the request does not set its own (0 = unbounded).
+	DefaultTimeout time.Duration
+	// RetryAfter is the backoff hint returned with 429 (default 2s).
+	RetryAfter time.Duration
+	// MaxCachedResults caps completed executions kept for cache hits
+	// (default 512); the oldest results are evicted first.
+	MaxCachedResults int
+	// Metrics receives the serve_* counters and, through the executor, all
+	// engine and simulator telemetry. Nil disables (nil-safe handles).
+	Metrics *obs.Registry
+	// Baselines is shared by every job; nil allocates a fresh cache.
+	Baselines *harness.BaselineCache
+	// Executor runs jobs; nil uses HarnessExecutor(). Tests inject stubs.
+	Executor Executor
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.MaxCachedResults <= 0 {
+		c.MaxCachedResults = 512
+	}
+	if c.Baselines == nil {
+		c.Baselines = harness.NewBaselineCache()
+	}
+	if c.Executor == nil {
+		c.Executor = HarnessExecutor()
+	}
+	return c
+}
+
+// execution is one underlying run: the unit the queue, the worker pool and
+// the result cache deal in. Every submission of the same canonical request
+// while it is queued/running attaches to it (coalescing); once it completes
+// successfully it stays as the cache entry for its hash. All fields below
+// the hub are guarded by the scheduler mutex.
+type execution struct {
+	hash   string
+	req    JobRequest
+	hub    *eventHub
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	state    string
+	refs     int // attached, not-yet-cancelled jobs
+	parallel int // engine workers (first submitter's hint wins)
+	out      Output
+	err      error
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// job is one submission: a client-visible view onto an execution.
+type job struct {
+	id        string
+	exec      *execution
+	cacheHit  bool
+	coalesced bool
+	cancelled bool
+	created   time.Time
+}
+
+// Scheduler owns the job queue, the worker pool, the execution cache and
+// the job table. Safe for concurrent use by the HTTP handlers.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	execs    map[string]*execution // queued, running and cached-done, by hash
+	jobs     map[string]*job
+	jobOrder []string // insertion order, for bounded eviction of finished jobs
+	cached   []string // completed hashes, oldest first, for cache eviction
+	queue    chan *execution
+	nextID   uint64
+	draining bool
+
+	wg sync.WaitGroup
+
+	mSubmitted, mExecuted, mCacheHits, mCoalesced *obs.Counter
+	mRejected, mCancelled, mFailed, mDone         *obs.Counter
+	gQueueDepth                                   *obs.Gauge
+	hWall, hQueueWait                             *obs.Histogram
+}
+
+// maxJobs bounds the job table; oldest finished jobs are evicted beyond it.
+const maxJobs = 4096
+
+// NewScheduler builds a scheduler and starts its workers.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	s := &Scheduler{
+		cfg:   cfg,
+		execs: make(map[string]*execution),
+		jobs:  make(map[string]*job),
+		queue: make(chan *execution, cfg.QueueDepth),
+
+		mSubmitted:  reg.Counter("serve_jobs_submitted"),
+		mExecuted:   reg.Counter("serve_jobs_executed"),
+		mCacheHits:  reg.Counter("serve_cache_hits"),
+		mCoalesced:  reg.Counter("serve_jobs_coalesced"),
+		mRejected:   reg.Counter("serve_jobs_rejected"),
+		mCancelled:  reg.Counter("serve_jobs_cancelled"),
+		mFailed:     reg.Counter("serve_jobs_failed"),
+		mDone:       reg.Counter("serve_jobs_done"),
+		gQueueDepth: reg.Gauge("serve_queue_depth"),
+		hWall:       reg.Histogram("serve_job_wall_seconds", obs.ExpBuckets(1e-3, 4, 12)),
+		hQueueWait:  reg.Histogram("serve_queue_wait_seconds", obs.ExpBuckets(1e-3, 4, 12)),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// RetryAfter is the backoff hint the HTTP layer attaches to 429s.
+func (s *Scheduler) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Submit validates and admits one request. The three outcomes the cache
+// layer distinguishes: a completed execution answers instantly (cache hit),
+// an in-flight one adopts the submission (coalesced), otherwise a new
+// execution is enqueued — or rejected with ErrQueueFull/ErrDraining when
+// admission control says no.
+func (s *Scheduler) Submit(req JobRequest) (JobStatus, error) {
+	canonical, err := Canonicalize(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hash := Hash(canonical)
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mSubmitted.Inc()
+
+	if e, ok := s.execs[hash]; ok {
+		j := s.newJobLocked(e)
+		switch e.state {
+		case StateDone:
+			j.cacheHit = true
+			s.mCacheHits.Inc()
+		default: // queued or running: ride along
+			j.coalesced = true
+			e.refs++
+			s.mCoalesced.Inc()
+		}
+		return s.statusLocked(j), nil
+	}
+
+	if s.draining {
+		s.mRejected.Inc()
+		return JobStatus{}, ErrDraining
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
+	e := &execution{
+		hash:     hash,
+		req:      canonical,
+		hub:      newEventHub(),
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		refs:     1,
+		parallel: req.Parallel,
+		created:  time.Now(),
+	}
+	if e.parallel == 0 {
+		e.parallel = s.cfg.JobParallel
+	}
+	select {
+	case s.queue <- e:
+	default:
+		cancel()
+		s.mRejected.Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+	s.execs[hash] = e
+	s.gQueueDepth.Set(float64(len(s.queue)))
+	j := s.newJobLocked(e)
+	e.hub.publish(Event{Type: "state", State: StateQueued})
+	return s.statusLocked(j), nil
+}
+
+// newJobLocked mints a job id, attaches it to e and evicts old finished
+// jobs beyond the table cap.
+func (s *Scheduler) newJobLocked(e *execution) *job {
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j%06d", s.nextID),
+		exec:    e,
+		created: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for len(s.jobs) > maxJobs && len(s.jobOrder) > 0 {
+		oldest := s.jobOrder[0]
+		if old, ok := s.jobs[oldest]; ok {
+			if !old.cancelled && old.exec.state != StateDone &&
+				old.exec.state != StateFailed && old.exec.state != StateCancelled {
+				break // never evict a live job
+			}
+			delete(s.jobs, oldest)
+		}
+		s.jobOrder = s.jobOrder[1:]
+	}
+	return j
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for e := range s.queue {
+		s.runExecution(e)
+	}
+}
+
+func (s *Scheduler) runExecution(e *execution) {
+	s.mu.Lock()
+	s.gQueueDepth.Set(float64(len(s.queue)))
+	if e.refs == 0 || e.ctx.Err() != nil {
+		// Every submitter detached — or the deadline lapsed — while the
+		// execution sat in the queue. Don't burn a worker on it.
+		err := e.ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+		s.finishLocked(e, StateCancelled, Output{}, fmt.Errorf("cancelled while queued: %w", err))
+		s.mu.Unlock()
+		return
+	}
+	e.state = StateRunning
+	e.started = time.Now()
+	s.mu.Unlock()
+
+	s.mExecuted.Inc()
+	s.hQueueWait.Observe(e.started.Sub(e.created).Seconds())
+	e.hub.publish(Event{Type: "state", State: StateRunning})
+
+	out, err := s.cfg.Executor(e.ctx, e.req, Hooks{
+		Progress:  e.hub.publish,
+		Parallel:  e.parallel,
+		Baselines: s.cfg.Baselines,
+		Metrics:   s.cfg.Metrics,
+	})
+
+	s.mu.Lock()
+	state := StateDone
+	switch {
+	case err == nil:
+		state = StateDone
+	case e.refs == 0:
+		// The failure is our own cancellation arriving through ctx.
+		state = StateCancelled
+	default:
+		state = StateFailed
+	}
+	s.finishLocked(e, state, out, err)
+	s.mu.Unlock()
+}
+
+// finishLocked moves e to a terminal state, updates the cache and metrics,
+// and emits the terminal event. Failures and cancellations never become
+// cache entries: the next submission of the same request runs afresh.
+func (s *Scheduler) finishLocked(e *execution, state string, out Output, err error) {
+	e.state = state
+	e.out, e.err = out, err
+	e.finished = time.Now()
+	if !e.started.IsZero() {
+		s.hWall.Observe(e.finished.Sub(e.started).Seconds())
+	}
+	ev := Event{Type: "result", State: state}
+	switch state {
+	case StateDone:
+		s.mDone.Inc()
+		s.cached = append(s.cached, e.hash)
+		for len(s.cached) > s.cfg.MaxCachedResults {
+			evict := s.cached[0]
+			s.cached = s.cached[1:]
+			if old, ok := s.execs[evict]; ok && old.state == StateDone {
+				delete(s.execs, evict)
+			}
+		}
+	case StateCancelled:
+		s.mCancelled.Inc()
+		delete(s.execs, e.hash)
+	default:
+		s.mFailed.Inc()
+		delete(s.execs, e.hash)
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	e.cancel() // release the timeout timer
+	close(e.done)
+	e.hub.publish(ev)
+	e.hub.close()
+}
+
+// Cancel detaches job id from its execution. The underlying run is
+// cancelled only when its last attached job goes — cancelling one of
+// several coalesced submissions never kills the others' run.
+func (s *Scheduler) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, ErrUnknownJob
+	}
+	e := j.exec
+	if j.cancelled || e.state == StateDone || e.state == StateFailed || e.state == StateCancelled {
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		return st, nil // terminal already: cancelling is a no-op
+	}
+	j.cancelled = true
+	e.refs--
+	var cancelRun context.CancelFunc
+	if e.refs == 0 {
+		// Last rider gone: stop the run and un-cache the hash so a future
+		// submission re-executes instead of coalescing onto a corpse.
+		delete(s.execs, e.hash)
+		cancelRun = e.cancel
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	if cancelRun != nil {
+		cancelRun()
+	}
+	return st, nil
+}
+
+// Status returns the lifecycle view of one job.
+func (s *Scheduler) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return s.statusLocked(j), nil
+}
+
+// Result returns the terminal payload of one job. The bool reports whether
+// the job has finished; before that the result carries only the status.
+func (s *Scheduler) Result(id string) (JobResult, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobResult{}, false, ErrUnknownJob
+	}
+	st := s.statusLocked(j)
+	if !st.Finished() {
+		return JobResult{JobStatus: st}, false, nil
+	}
+	return JobResult{JobStatus: st, Output: j.exec.out.Text, JSONL: j.exec.out.JSONL}, true, nil
+}
+
+// List returns every known job, oldest first.
+func (s *Scheduler) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, id := range s.jobOrder {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, s.statusLocked(j))
+		}
+	}
+	sort.SliceStable(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Subscribe attaches to a job's event stream: a replay of everything so
+// far plus a live channel (nil when the job already finished).
+func (s *Scheduler) Subscribe(id string) ([]Event, <-chan Event, func(), error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, ErrUnknownJob
+	}
+	replay, live, cancel := j.exec.hub.subscribe()
+	return replay, live, cancel, nil
+}
+
+// Wait blocks until the job finishes or ctx expires; used by tests and by
+// handlers that support ?wait=1 style polling internally.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	select {
+	case <-j.exec.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	return s.Status(id)
+}
+
+func (s *Scheduler) statusLocked(j *job) JobStatus {
+	e := j.exec
+	st := JobStatus{
+		ID:          j.id,
+		State:       e.state,
+		Request:     e.req,
+		RequestHash: e.hash,
+		CacheHit:    j.cacheHit,
+		Coalesced:   j.coalesced,
+		CreatedAt:   j.created,
+	}
+	if !e.started.IsZero() {
+		t := e.started
+		st.StartedAt = &t
+		st.QueueWaitMS = float64(e.started.Sub(e.created).Microseconds()) / 1000
+	}
+	if !e.finished.IsZero() {
+		t := e.finished
+		st.FinishedAt = &t
+		if !e.started.IsZero() {
+			st.WallMS = float64(e.finished.Sub(e.started).Microseconds()) / 1000
+		}
+	}
+	if e.err != nil {
+		st.Error = e.err.Error()
+	}
+	if j.cancelled {
+		st.State = StateCancelled
+		if st.Error == "" {
+			st.Error = "cancelled by client"
+		}
+	}
+	return st
+}
+
+// Draining reports whether the scheduler has stopped admitting jobs.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission and waits for queued and in-flight executions to
+// finish. When ctx expires first, every remaining execution is hard-
+// cancelled through its context and Drain waits for the workers to unwind
+// before returning ctx's error. Safe to call once; the scheduler cannot be
+// restarted after.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // Submit never sends once draining is set (same mutex)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, e := range s.execs {
+			if e.state == StateQueued || e.state == StateRunning {
+				e.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
