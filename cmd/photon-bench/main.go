@@ -25,12 +25,15 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"photon/internal/bench"
 	"photon/internal/buildinfo"
 	"photon/internal/harness"
 	"photon/internal/obs"
+	"photon/internal/sim/gpu"
+	"photon/internal/verify"
 )
 
 func main() {
@@ -50,6 +53,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		jsonPath   = fs.String("json", "", "also write every comparison as JSON lines to this file")
 		parallel   = fs.Int("parallel", 0, "worker count for experiment jobs (<= 0: one per CPU)")
 		fixedWall  = fs.Bool("fixed-wall", false, "pin wall times in output so runs diff byte-identically")
+		check      = fs.Bool("check", false, "audit simulator invariants inline on every sampled run")
 		metricsOut = fs.String("metrics-out", "", "write a telemetry snapshot (metrics.json) to this file")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -92,6 +96,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		jsonPath:   *jsonPath,
 		parallel:   *parallel,
 		fixedWall:  *fixedWall,
+		check:      *check,
 		metricsOut: *metricsOut,
 		traceOut:   *traceOut,
 	}, stdout, stderr)
@@ -113,6 +118,7 @@ type benchFlags struct {
 	jsonPath   string
 	parallel   int
 	fixedWall  bool
+	check      bool
 	metricsOut string
 	traceOut   string
 }
@@ -141,6 +147,20 @@ func runExperiments(f benchFlags, stdout, stderr io.Writer) int {
 	if f.traceOut != "" {
 		o.Trace = obs.NewTraceBuffer()
 	}
+	// -check wraps every sampled runner in an invariant auditor. One auditor
+	// per runner (jobs run concurrently); the run fails at the end if any of
+	// them recorded a violation.
+	var auditMu sync.Mutex
+	var audits []*verify.Auditor
+	if f.check {
+		o.WrapRunner = func(r gpu.Runner) gpu.Runner {
+			a := verify.NewAuditor(r)
+			auditMu.Lock()
+			audits = append(audits, a)
+			auditMu.Unlock()
+			return a
+		}
+	}
 
 	wants := map[string]bool{}
 	for _, name := range strings.Split(f.exp, ",") {
@@ -167,6 +187,21 @@ func runExperiments(f benchFlags, stdout, stderr io.Writer) int {
 		// Progress metadata goes to stderr so stdout stays diffable across
 		// runs and worker counts (wall time is nondeterministic).
 		fmt.Fprintf(stderr, "(%s regenerated in %s)\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if f.check {
+		kernels, failed := 0, 0
+		for _, a := range audits {
+			kernels += a.Kernels()
+			if err := a.Err(); err != nil {
+				failed++
+				fmt.Fprintf(stderr, "photon-bench: %v\n", err)
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(stderr, "photon-bench: invariant audit failed on %d of %d sampled runs\n", failed, len(audits))
+			return 1
+		}
+		fmt.Fprintf(stderr, "(check: %d sampled runs, %d kernels, invariants ok)\n", len(audits), kernels)
 	}
 	if n := o.Baselines.Simulated(); n > 0 {
 		fmt.Fprintf(stderr, "(baseline cache: %d full runs simulated, %d reused)\n",

@@ -21,6 +21,7 @@ import (
 	"photon/internal/sim/gpu"
 	"photon/internal/sim/isa"
 	"photon/internal/sim/trace"
+	"photon/internal/verify"
 	"photon/internal/workloads"
 	"photon/internal/workloads/dnn"
 )
@@ -32,7 +33,7 @@ func main() {
 		arch       = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
 		mode       = flag.String("mode", "photon", "runner: full|photon|pka|bb|warp|kernel")
 		perKernel  = flag.Bool("per-kernel", false, "print one row per kernel launch")
-		check      = flag.Bool("check", false, "verify functional correctness after simulation (where supported)")
+		check      = flag.Bool("check", false, "audit simulator invariants inline and verify functional correctness after simulation (where supported)")
 		store      = flag.String("analysis-store", "", "offline Photon: JSON file caching online-analysis profiles (created if missing)")
 		splitWait  = flag.Bool("split-waitcnt", false, "also end basic blocks at s_waitcnt (paper future-work variant)")
 		tracePath  = flag.String("trace", "", "write an execution trace (full mode only)")
@@ -117,6 +118,14 @@ func main() {
 		ph.SetStore(analysisStore)
 	}
 
+	// Wrap last so -trace and -analysis-store still see the concrete runner
+	// types they assert on.
+	var auditor *verify.Auditor
+	if *check {
+		auditor = verify.NewAuditor(runner)
+		runner = auditor
+	}
+
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
@@ -176,6 +185,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "photon-sim: %d trace events -> %s\n", traceBuf.Len(), *traceOut)
 	}
 	if *check {
+		if err := auditor.Err(); err != nil {
+			fatal("invariant audit failed: %v", err)
+		}
+		fmt.Printf("audit: %d kernels, invariants ok\n", auditor.Kernels())
 		if app.Check == nil {
 			fmt.Println("check: not supported for this workload")
 		} else if err := app.Check(); err != nil {

@@ -1,0 +1,103 @@
+// Command photon-verify runs the differential-testing subsystem from the
+// command line: seeded random programs over the warp-level ISA, each executed
+// by the functional emulator and the detailed timing model (on both event
+// engines) and checked against the full invariant battery.
+//
+//	photon-verify -n 2000                 # sweep 2000 random programs
+//	photon-verify -n 500 -seed 900000     # a different seed range
+//	photon-verify -replay bad.case        # re-run a serialized case
+//	photon-verify -n 100 -dump-dir out/   # write failing cases to out/
+//
+// Any violation prints the offending program and serializes the case to
+// -dump-dir so it can be minimized and committed under
+// internal/verify/testdata/; the exit code is nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"photon/internal/buildinfo"
+	"photon/internal/verify"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(args []string) int {
+	fs := flag.NewFlagSet("photon-verify", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		n       = fs.Int("n", 500, "number of random programs to check")
+		seed    = fs.Int64("seed", 1_000_000, "base seed; program i uses seed+i")
+		replay  = fs.String("replay", "", "run one serialized case file instead of a random sweep")
+		dumpDir = fs.String("dump-dir", ".", "directory for failing-case files")
+		quiet   = fs.Bool("q", false, "only report failures")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Println(buildinfo.Print("photon-verify"))
+		return 0
+	}
+
+	if *replay != "" {
+		text, err := os.ReadFile(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "photon-verify: %v\n", err)
+			return 1
+		}
+		c, err := verify.ParseCase(string(text))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "photon-verify: %v\n", err)
+			return 1
+		}
+		if bad := report(c, verify.RunCase(c), ""); bad {
+			return 1
+		}
+		fmt.Printf("case %s: ok\n", c.Name)
+		return 0
+	}
+
+	failures := 0
+	for i := 0; i < *n; i++ {
+		c := verify.RandomCase(fmt.Sprintf("cli%d", i), *seed+int64(i))
+		if bad := report(c, verify.RunCase(c), *dumpDir); bad {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "photon-verify: %d of %d programs violated invariants\n", failures, *n)
+		return 1
+	}
+	if !*quiet {
+		fmt.Printf("%d random programs: all invariants hold\n", *n)
+	}
+	return 0
+}
+
+// report prints a case's violations (if any) and serializes the case to
+// dumpDir; it returns whether the case failed.
+func report(c *verify.Case, vs []verify.Violation, dumpDir string) bool {
+	if len(vs) == 0 {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "case %s (seed %d): %d violations\n", c.Name, c.Seed, len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	if dumpDir != "" {
+		path := filepath.Join(dumpDir, c.Name+".case")
+		if err := os.WriteFile(path, []byte(c.Format()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "photon-verify: writing %s: %v\n", path, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "  case written to %s\n", path)
+		}
+	}
+	return true
+}

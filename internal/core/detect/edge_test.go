@@ -1,0 +1,125 @@
+package detect
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// TestRingWraparoundAtExactlyTwoWindows pins the ring indexing at the moment
+// the buffer first becomes full: with exactly 2n samples, head has wrapped
+// back to 0 and at(i) must still map i=1..n onto the recent half and
+// i=n+1..2n onto the previous half.
+func TestRingWraparoundAtExactlyTwoWindows(t *testing.T) {
+	d := New(4, 0.03)
+	feedLinear(d, 4, 0, 10, 10)  // previous half: duration 10
+	feedLinear(d, 4, 40, 10, 30) // recent half: duration 30
+	if d.head != 0 {
+		t.Fatalf("head = %d after exactly 2n samples, want wrapped to 0", d.head)
+	}
+	if got := d.MeanDuration(); got != 30 {
+		t.Fatalf("MeanDuration over the recent half = %v, want 30", got)
+	}
+	d.refresh()
+	if d.meanPrev != 10 {
+		t.Fatalf("previous-half mean = %v, want 10", d.meanPrev)
+	}
+	if d.Stable() {
+		t.Fatal("plateau shift at the wraparound boundary declared stable")
+	}
+
+	// One more sample slides both halves by one: prev = samples 2..5
+	// (durations 10,10,10,30 -> mean 15), recent = 6..9 (all 30).
+	d.Add(80, 110)
+	d.refresh()
+	if d.meanPrev != 15 {
+		t.Fatalf("previous-half mean after sliding one sample = %v, want 15", d.meanPrev)
+	}
+	if got := d.MeanDuration(); got != 30 {
+		t.Fatalf("recent mean after sliding = %v, want 30", got)
+	}
+}
+
+// TestZeroXVarianceSlopeNotNaN: identical issue times make the regression
+// denominator exactly zero. The detector must report ok=false with a finite
+// slope value, never NaN, and must stay unstable — and a later well-spread
+// window must recover.
+func TestZeroXVarianceSlopeNotNaN(t *testing.T) {
+	d := New(8, 0.03)
+	for i := 0; i < 16; i++ {
+		d.Add(500, 600)
+	}
+	a, ok := d.Slope()
+	if ok {
+		t.Fatal("slope reported ok on zero x-variance")
+	}
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		t.Fatalf("degenerate slope = %v, want finite", a)
+	}
+	if d.Stable() {
+		t.Fatal("zero-x-variance series declared stable")
+	}
+	// Spread samples wash the degenerate ones out of the window.
+	feedLinear(d, 16, 1000, 10, 100)
+	if a, ok := d.Slope(); !ok || a < 0.99 || a > 1.01 {
+		t.Fatalf("slope after recovery = %v ok=%v, want ~1", a, ok)
+	}
+}
+
+// TestRefreshIdempotentAtSameCount: polling twice at one sample count must
+// hit the cache and return identical values (the scheduler polls every unit
+// on every retirement, many times per Add).
+func TestRefreshIdempotentAtSameCount(t *testing.T) {
+	d := New(16, 0.03)
+	feedLinear(d, 32, 0, 10, 42)
+	a1, ok1 := d.Slope()
+	m1 := d.MeanDuration()
+	s1 := d.Stable()
+	if d.cachedAt != d.count {
+		t.Fatalf("cachedAt = %d after a poll at count %d", d.cachedAt, d.count)
+	}
+	a2, ok2 := d.Slope()
+	m2 := d.MeanDuration()
+	s2 := d.Stable()
+	if a1 != a2 || ok1 != ok2 || m1 != m2 || s1 != s2 {
+		t.Fatalf("second poll at the same count changed answers: (%v %v %v %v) vs (%v %v %v %v)",
+			a1, ok1, m1, s1, a2, ok2, m2, s2)
+	}
+}
+
+// FuzzDetector feeds arbitrary (but finite) sample streams and asserts the
+// detector's robustness properties: no NaN/Inf ever escapes, and the query
+// methods are idempotent at a fixed sample count. The committed corpus runs
+// in plain `go test`.
+func FuzzDetector(f *testing.F) {
+	f.Add(uint8(4), []byte{})
+	f.Add(uint8(2), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(16), []byte{0xff, 0x00, 0x80, 0x7f, 0x10, 0x20, 0x30, 0x40,
+		0x50, 0x60, 0x70, 0x80, 0x90, 0xa0, 0xb0, 0xc0})
+	f.Fuzz(func(t *testing.T, win uint8, data []byte) {
+		n := int(win)%64 + 2
+		d := New(n, 0.03)
+		x := 0.0
+		for len(data) >= 4 {
+			step := float64(binary.LittleEndian.Uint16(data))
+			dur := float64(binary.LittleEndian.Uint16(data[2:]))
+			data = data[4:]
+			x += step
+			d.Add(x, x+dur)
+
+			a, ok := d.Slope()
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				t.Fatalf("slope = %v (ok=%v) at count %d", a, ok, d.Count())
+			}
+			for _, m := range []float64{d.MeanDuration(), d.GlobalMeanDuration()} {
+				if math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+					t.Fatalf("mean = %v at count %d", m, d.Count())
+				}
+			}
+			a2, ok2 := d.Slope()
+			if a != a2 || ok != ok2 || d.Stable() != d.Stable() {
+				t.Fatalf("queries not idempotent at count %d", d.Count())
+			}
+		}
+	})
+}

@@ -39,6 +39,12 @@ type Options struct {
 	// When nil, each sweep falls back to a private cache, so baselines are
 	// still simulated at most once within one experiment.
 	Baselines *BaselineCache
+	// WrapRunner, when non-nil, wraps every sampled runner a sweep builds —
+	// the CLIs' -check mode installs verify.NewAuditor here to run the
+	// invariant audit inline. Baseline full-detailed runs are memoized and
+	// shared across experiments, so they stay unwrapped: a wrapper must not
+	// change simulation results, only observe them.
+	WrapRunner func(gpu.Runner) gpu.Runner
 	// Metrics, when non-nil, receives cumulative telemetry from the engine
 	// and from every sampled-runner simulation (cache/DRAM stats, per-CU
 	// timing counters, Photon tier decisions). Metrics output is a separate
@@ -224,7 +230,7 @@ func Fig17(w io.Writer, o Options) error {
 			if err != nil {
 				return Comparison{}, err
 			}
-			res, err := RunAppCtx(ctx, cfg, app, f.New(cfg))
+			res, err := RunAppCtx(ctx, cfg, app, o.runner(f, cfg))
 			if err != nil {
 				return Comparison{}, err
 			}

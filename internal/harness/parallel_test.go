@@ -14,6 +14,8 @@ import (
 	"testing"
 
 	"photon/internal/core"
+	"photon/internal/sim/gpu"
+	"photon/internal/sim/kernel"
 	"photon/internal/workloads"
 )
 
@@ -209,6 +211,65 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		if c.Hits() != 4 {
 			t.Fatalf("cache hits = %d, want 4", c.Hits())
 		}
+	}
+}
+
+// countingRunner observes RunKernel calls without changing results.
+type countingRunner struct {
+	inner gpu.Runner
+	calls *atomic.Int32
+}
+
+func (c countingRunner) Name() string { return c.inner.Name() }
+
+func (c countingRunner) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, error) {
+	c.calls.Add(1)
+	return c.inner.RunKernel(g, l)
+}
+
+// TestWrapRunnerWrapsSampledJobsOnly: the WrapRunner hook must see every
+// sampled runner a sweep builds, must not perturb the emitted rows, and must
+// never be applied to the memoized full baselines.
+func TestWrapRunnerWrapsSampledJobsOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several small simulations")
+	}
+	var calls atomic.Int32
+	var wrapped, plain bytes.Buffer
+
+	o := DefaultOptions()
+	o.FixedWall = true
+	if err := o.RunSweep(&plain, detSweep(o)); err != nil {
+		t.Fatal(err)
+	}
+	o.WrapRunner = func(r gpu.Runner) gpu.Runner {
+		return countingRunner{inner: r, calls: &calls}
+	}
+	if err := o.RunSweep(&wrapped, detSweep(o)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("WrapRunner hook never saw a kernel")
+	}
+	if wrapped.String() != plain.String() {
+		t.Fatalf("an observing wrapper changed sweep output:\n--- plain ---\n%s--- wrapped ---\n%s",
+			plain.String(), wrapped.String())
+	}
+	// Baselines stay unwrapped: a cache that simulates through the hook
+	// would inflate the count by the full-detailed kernels too. Each sweep
+	// point is one kernel per app here, so sampled jobs alone account for
+	// every observed call.
+	got := calls.Load()
+	sampled := int32(0)
+	for _, pt := range detSweep(o).Points {
+		app, err := pt.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampled += int32(len(app.Launches) * 2) // two sampled factories
+	}
+	if got != sampled {
+		t.Fatalf("wrapper saw %d kernels, want %d (sampled jobs only, baselines unwrapped)", got, sampled)
 	}
 }
 

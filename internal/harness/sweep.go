@@ -81,7 +81,7 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 				if err != nil {
 					return Comparison{}, err
 				}
-				res, err := RunAppObsCtx(ctx, s.Config, app, f.New(s.Config), o.Metrics, o.Trace, tid)
+				res, err := RunAppObsCtx(ctx, s.Config, app, o.runner(f, s.Config), o.Metrics, o.Trace, tid)
 				if err != nil {
 					return Comparison{}, err
 				}
@@ -102,6 +102,15 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 			PrintRow(w, c)
 			return o.JSON.Emit(rec)
 		})
+}
+
+// runner builds a factory's runner for cfg and applies the WrapRunner hook.
+func (o Options) runner(f RunnerFactory, cfg gpu.Config) gpu.Runner {
+	r := f.New(cfg)
+	if o.WrapRunner != nil {
+		r = o.WrapRunner(r)
+	}
+	return r
 }
 
 // normalize applies the FixedWall pinning to a comparison before emission.

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSeconds pins the header arithmetic: RFC 9110 Retry-After is
+// integer seconds, so sub-second backoffs must round UP (truncation told
+// clients "retry after 0s" — i.e. immediately — which is the opposite of
+// backpressure).
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{500 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{7 * time.Second, 7},
+		{-time.Second, 1},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterSubSecondNotTruncated is the HTTP-level regression for the
+// truncation bug: a server configured with a 500ms backoff must advertise
+// Retry-After: 1, never 0.
+func TestRetryAfterSubSecondNotTruncated(t *testing.T) {
+	release := make(chan struct{})
+	var runs atomic.Int64
+	ts, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1,
+		RetryAfter: 500 * time.Millisecond, Executor: blockingExec(&runs, release)})
+	defer close(release)
+
+	postJob(t, ts.URL, JobRequest{Bench: "mm"})
+	for runs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	postJob(t, ts.URL, JobRequest{Bench: "sc"})
+	resp, _ := postJob(t, ts.URL, JobRequest{Bench: "fir"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q for a 500ms backoff, want %q", ra, "1")
+	}
+}

@@ -53,6 +53,18 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
+// retryAfterSeconds renders a backoff duration as whole seconds, rounding up
+// and never below 1: RFC 9110 Retry-After carries integer seconds, and a
+// truncated "0" would tell well-behaved clients to hammer a full queue
+// immediately.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // submit is POST /v1/jobs: 202 for admitted work, 200 for a cache hit,
 // 400 for invalid requests, 429 (+ Retry-After) when the queue is full,
 // 503 while draining.
@@ -67,7 +79,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.sched.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.sched.RetryAfter().Seconds())))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.sched.RetryAfter())))
 		writeErr(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):

@@ -1,0 +1,103 @@
+package emu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WarpState is a deep copy of a warp's final architectural state, captured
+// with Snapshot. The differential checker in internal/verify runs the same
+// launch through the functional engine and the timing model and compares
+// the WarpState of every retired warp; any mismatch is a simulator bug.
+type WarpState struct {
+	GlobalID  int
+	PC        int
+	SCC       bool
+	Exec      uint64
+	VCC       uint64
+	SGPR      []uint32
+	VGPR      []uint32 // [reg*64 + lane]
+	Masks     [8]uint64
+	InstCount uint64
+	BBCounts  []uint32
+}
+
+// Snapshot deep-copies the warp's architectural state. The pooled runtime
+// recycles Warp objects the moment they retire, so any observer that wants
+// final state must copy it during the retirement callback — this is that
+// copy.
+func (w *Warp) Snapshot() WarpState {
+	s := WarpState{
+		GlobalID:  w.GlobalID,
+		PC:        w.PC,
+		SCC:       w.SCC,
+		Exec:      w.Exec,
+		VCC:       w.VCC,
+		Masks:     w.masks,
+		InstCount: w.InstCount,
+	}
+	s.SGPR = append(s.SGPR, w.sgpr...)
+	s.VGPR = append(s.VGPR, w.vgpr...)
+	s.BBCounts = append(s.BBCounts, w.BBCounts...)
+	return s
+}
+
+// Diff describes every field where s and o disagree, one difference per
+// line, or returns "" when the states are architecturally identical.
+// Registers are compared over the shorter of the two files so that engines
+// which size register backing differently (but agree on contents) still
+// compare equal; a length mismatch itself is reported.
+func (s *WarpState) Diff(o *WarpState) string {
+	var b strings.Builder
+	line := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	if s.GlobalID != o.GlobalID {
+		line("globalID: %d vs %d", s.GlobalID, o.GlobalID)
+	}
+	if s.PC != o.PC {
+		line("pc: %d vs %d", s.PC, o.PC)
+	}
+	if s.SCC != o.SCC {
+		line("scc: %v vs %v", s.SCC, o.SCC)
+	}
+	if s.Exec != o.Exec {
+		line("exec: %#x vs %#x", s.Exec, o.Exec)
+	}
+	if s.VCC != o.VCC {
+		line("vcc: %#x vs %#x", s.VCC, o.VCC)
+	}
+	for i := range s.Masks {
+		if s.Masks[i] != o.Masks[i] {
+			line("mask[%d]: %#x vs %#x", i, s.Masks[i], o.Masks[i])
+		}
+	}
+	if len(s.SGPR) != len(o.SGPR) {
+		line("sgpr count: %d vs %d", len(s.SGPR), len(o.SGPR))
+	}
+	for i := 0; i < min(len(s.SGPR), len(o.SGPR)); i++ {
+		if s.SGPR[i] != o.SGPR[i] {
+			line("s%d: %#x vs %#x", i, s.SGPR[i], o.SGPR[i])
+		}
+	}
+	if len(s.VGPR) != len(o.VGPR) {
+		line("vgpr count: %d vs %d", len(s.VGPR), len(o.VGPR))
+	}
+	for i := 0; i < min(len(s.VGPR), len(o.VGPR)); i++ {
+		if s.VGPR[i] != o.VGPR[i] {
+			line("v%d.lane%d: %#x vs %#x", i/64, i%64, s.VGPR[i], o.VGPR[i])
+		}
+	}
+	if s.InstCount != o.InstCount {
+		line("instCount: %d vs %d", s.InstCount, o.InstCount)
+	}
+	if len(s.BBCounts) != len(o.BBCounts) {
+		line("bbCounts length: %d vs %d", len(s.BBCounts), len(o.BBCounts))
+	}
+	for i := 0; i < min(len(s.BBCounts), len(o.BBCounts)); i++ {
+		if s.BBCounts[i] != o.BBCounts[i] {
+			line("bbCounts[%d]: %d vs %d", i, s.BBCounts[i], o.BBCounts[i])
+		}
+	}
+	return b.String()
+}

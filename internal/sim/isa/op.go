@@ -116,6 +116,10 @@ const (
 	opCount
 )
 
+// NumOps is the number of defined opcodes. Decoders and fuzzers that map
+// arbitrary bytes into the opcode space take values modulo NumOps.
+const NumOps = int(opCount)
+
 var opNames = [...]string{
 	OpSMov: "s_mov", OpSAdd: "s_add", OpSSub: "s_sub", OpSMul: "s_mul",
 	OpSLShl: "s_lshl", OpSLShr: "s_lshr", OpSAnd: "s_and", OpSOr: "s_or",

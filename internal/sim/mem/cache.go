@@ -90,6 +90,10 @@ type Cache struct {
 	portFree event.Time
 	lruClock uint64
 
+	// accesses is counted independently at the top of Access rather than
+	// derived from hits+misses, so the conservation check
+	// accesses == hits + misses is a real invariant and not a tautology.
+	accesses                            uint64
 	hits, misses, evictions, writebacks uint64
 	mx                                  *levelMetrics
 }
@@ -116,6 +120,9 @@ func NewCache(cfg CacheConfig, lower Lower) *Cache {
 // Config returns the cache's configuration.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
+// Accesses returns the access count since the last Reset.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
 // Hits returns the hit count since the last Reset.
 func (c *Cache) Hits() uint64 { return c.hits }
 
@@ -140,12 +147,15 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.portFree = 0
+	c.accesses = 0
 	c.hits, c.misses, c.evictions, c.writebacks = 0, 0, 0, 0
 }
 
 // Access performs a timing access for the line containing lineAddr and
 // returns the completion time. lineAddr must be line-aligned.
 func (c *Cache) Access(now event.Time, lineAddr uint64, write bool) event.Time {
+	c.accesses++
+
 	// Port arbitration: the access cannot start before the port frees up.
 	start := now
 	if c.portFree > start {

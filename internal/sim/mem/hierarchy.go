@@ -53,6 +53,11 @@ type Hierarchy struct {
 	l1k  []*Cache
 	l2   []*Cache
 	dram *DRAM
+
+	// atomicAccesses counts per-lane atomic operations, which execute at the
+	// L2 coherence point and so reach L2 without a corresponding L1 miss;
+	// CheckConservation needs the count to balance the L2 traffic equation.
+	atomicAccesses uint64
 }
 
 // l2Router steers L1 misses to the right L2 bank by line interleaving.
@@ -137,6 +142,7 @@ func (h *Hierarchy) Reset() {
 		c.Reset()
 	}
 	h.dram.Reset()
+	h.atomicAccesses = 0
 }
 
 // VectorAccess performs a coalesced per-warp vector memory access from cuID.
@@ -183,6 +189,7 @@ func (h *Hierarchy) AtomicAccess(now event.Time, cuID int, addrs []uint64) event
 	r := l2Router{h}
 	done := now
 	for _, a := range addrs {
+		h.atomicAccesses++
 		if t := r.Access(now, a&^uint64(LineSize-1), true); t > done {
 			done = t
 		}
@@ -202,6 +209,46 @@ func (h *Hierarchy) ScalarAccess(now event.Time, cuID int, addr uint64) event.Ti
 func (h *Hierarchy) InstFetch(now event.Time, cuID int, instAddr uint64) event.Time {
 	blk := cuID / h.cfg.CUsPerScalarBlock
 	return h.l1i[blk].Access(now, instAddr&^uint64(LineSize-1), false)
+}
+
+// CheckConservation verifies the flow-conservation invariants every
+// well-formed run must satisfy, using counters that are incremented
+// independently of each other (Cache.accesses is counted at entry, hits and
+// misses on their branches, so accesses == hits+misses is a real check on
+// control flow, not arithmetic). The traffic equations follow from the
+// write-back write-allocate design: each L1 miss fills from L2 and each dirty
+// L1 eviction writes back through L2, and atomics execute directly at the L2
+// coherence point, so L2 access traffic is exactly the sum of L1 misses, L1
+// writebacks and per-lane atomic operations; likewise DRAM sees exactly L2
+// misses plus L2 writebacks.
+func (h *Hierarchy) CheckConservation() error {
+	var l1Demand, l2Acc, l2Demand uint64
+	for _, group := range [][]*Cache{h.l1v, h.l1i, h.l1k} {
+		for _, c := range group {
+			if c.Accesses() != c.Hits()+c.Misses() {
+				return fmt.Errorf("mem: %s: accesses %d != hits %d + misses %d",
+					c.cfg.Name, c.Accesses(), c.Hits(), c.Misses())
+			}
+			l1Demand += c.Misses() + c.Writebacks()
+		}
+	}
+	for _, c := range h.l2 {
+		if c.Accesses() != c.Hits()+c.Misses() {
+			return fmt.Errorf("mem: %s: accesses %d != hits %d + misses %d",
+				c.cfg.Name, c.Accesses(), c.Hits(), c.Misses())
+		}
+		l2Acc += c.Accesses()
+		l2Demand += c.Misses() + c.Writebacks()
+	}
+	if l2Acc != l1Demand+h.atomicAccesses {
+		return fmt.Errorf("mem: L2 accesses %d != L1 misses+writebacks %d + atomics %d",
+			l2Acc, l1Demand, h.atomicAccesses)
+	}
+	if h.dram.Accesses() != l2Demand {
+		return fmt.Errorf("mem: DRAM accesses %d != L2 misses+writebacks %d",
+			h.dram.Accesses(), l2Demand)
+	}
+	return nil
 }
 
 // Stats aggregates hit/miss counters across the hierarchy.

@@ -17,7 +17,7 @@ import (
 // is shared state passed in by the GPU driver.
 type Machine struct {
 	cfg    Config
-	engine *event.Engine
+	engine event.Queue
 	hier   *mem.Hierarchy
 	launch *kernel.Launch
 	obs    Observer
@@ -129,6 +129,14 @@ type Result struct {
 
 // NewMachine builds a detailed-mode machine over the given hierarchy.
 func NewMachine(cfg Config, hier *mem.Hierarchy, obs Observer) *Machine {
+	return NewMachineWithQueue(cfg, hier, obs, event.New())
+}
+
+// NewMachineWithQueue is NewMachine with an explicit event queue. The verify
+// subsystem uses it to run the same launch on the production Engine and on
+// RefEngine and demand identical results; everything else should use
+// NewMachine.
+func NewMachineWithQueue(cfg Config, hier *mem.Hierarchy, obs Observer, q event.Queue) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -139,7 +147,7 @@ func NewMachine(cfg Config, hier *mem.Hierarchy, obs Observer) *Machine {
 	if obs == nil {
 		obs = NopObserver{}
 	}
-	m := &Machine{cfg: cfg, engine: event.New(), hier: hier, obs: obs}
+	m := &Machine{cfg: cfg, engine: q, hier: hier, obs: obs}
 	m.issueCycles = make([]uint64, cfg.NumCUs)
 	m.issued = make([]uint64, cfg.NumCUs)
 	m.stallCycles = make([]uint64, cfg.NumCUs)
@@ -191,8 +199,8 @@ func (m *Machine) flushMetrics() {
 	}
 }
 
-// Engine exposes the event engine (tests use it).
-func (m *Machine) Engine() *event.Engine { return m.engine }
+// Engine exposes the event queue (tests use it).
+func (m *Machine) Engine() event.Queue { return m.engine }
 
 // Run simulates the launch until every dispatched workgroup drains. If the
 // dispatch gate stops new workgroups, the in-flight ones still complete.

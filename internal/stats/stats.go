@@ -21,6 +21,10 @@ type IPCCollector struct {
 	Window event.Time
 	bins   []uint64
 	total  uint64
+	// last is the latest issue time observed; the final window only spans
+	// [lastFullBinStart, last], so Series divides that bin by its real width
+	// instead of the full Window (which would bias the tail IPC low).
+	last event.Time
 }
 
 // NewIPCCollector creates a collector with the given window width in cycles.
@@ -39,16 +43,38 @@ func (c *IPCCollector) OnInstIssued(now event.Time, cuID int, w *emu.Warp, class
 	}
 	c.bins[idx]++
 	c.total++
+	if now > c.last {
+		c.last = now
+	}
 }
 
 // Total returns the total instructions observed.
 func (c *IPCCollector) Total() uint64 { return c.total }
 
-// Series returns the per-window IPC values.
+// Reset clears the collected series so the collector can be reused for the
+// next kernel. Each timing machine restarts its clock at cycle zero, so a
+// collector carried across kernels without Reset would fold every kernel
+// into the same leading windows (and, for observers that see absolute
+// clocks, manufacture empty leading bins) — either way corrupting the
+// variance signal PKA-style monitors read from the series.
+func (c *IPCCollector) Reset() {
+	c.bins = c.bins[:0]
+	c.total = 0
+	c.last = 0
+}
+
+// Series returns the per-window IPC values. The final window is divided by
+// the width it actually spans — from its start to the last observed issue,
+// inclusive — not the full Window, so a run that stops mid-window reports
+// the true tail IPC.
 func (c *IPCCollector) Series() []float64 {
 	out := make([]float64, len(c.bins))
 	for i, b := range c.bins {
-		out[i] = float64(b) / float64(c.Window)
+		width := c.Window
+		if i == len(c.bins)-1 {
+			width = c.last - event.Time(i)*c.Window + 1
+		}
+		out[i] = float64(b) / float64(width)
 	}
 	return out
 }

@@ -1,0 +1,68 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"photon/internal/sim/gpu"
+	"photon/internal/sim/kernel"
+)
+
+// Auditor wraps a gpu.Runner and audits simulator invariants inline after
+// every kernel: the memory hierarchy's conservation equations must hold and
+// the result must be sane (a kernel that ran must have executed at least one
+// instruction per warp — every warp executes s_endpgm). The CLIs' -check
+// flag wraps their runners in one of these; it re-checks nothing that needs
+// re-execution, so the audit adds no measurable simulation cost.
+type Auditor struct {
+	inner gpu.Runner
+
+	mu      sync.Mutex
+	kernels int
+	errs    []error
+}
+
+// NewAuditor wraps the runner.
+func NewAuditor(r gpu.Runner) *Auditor { return &Auditor{inner: r} }
+
+// Name implements gpu.Runner.
+func (a *Auditor) Name() string { return a.inner.Name() }
+
+// RunKernel implements gpu.Runner: it delegates to the wrapped runner and
+// records any invariant violation the run left behind. Violations do not
+// fail the run — the caller reads them at the end via Err, so one audit
+// failure does not mask results from the rest of the workload.
+func (a *Auditor) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, error) {
+	res, err := a.inner.RunKernel(g, l)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.kernels++
+	if err != nil {
+		return res, err
+	}
+	if cerr := g.Hierarchy().CheckConservation(); cerr != nil {
+		a.errs = append(a.errs, fmt.Errorf("verify: kernel %q: %w", l.Name, cerr))
+	}
+	if minInsts := uint64(l.TotalWarps()); res.Insts < minInsts {
+		a.errs = append(a.errs, fmt.Errorf(
+			"verify: kernel %q: %d instructions reported for %d warps (each warp executes at least s_endpgm)",
+			l.Name, res.Insts, l.TotalWarps()))
+	}
+	return res, nil
+}
+
+// Kernels returns how many kernels the auditor has seen.
+func (a *Auditor) Kernels() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.kernels
+}
+
+// Err returns every recorded violation joined into one error, or nil when
+// the audited run held all invariants.
+func (a *Auditor) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return errors.Join(a.errs...)
+}

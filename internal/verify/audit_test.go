@@ -1,0 +1,70 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"photon/internal/sim/gpu"
+	"photon/internal/sim/kernel"
+)
+
+// TestAuditorCleanRun wraps the full-detailed runner around a generated case
+// and checks the inline audit passes and is transparent to the result.
+func TestAuditorCleanRun(t *testing.T) {
+	c := RandomCase("audit", 7)
+	l, _, err := c.NewLaunch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gpu.New(SmallGPU())
+	a := NewAuditor(gpu.FullRunner{})
+	if a.Name() != "full" {
+		t.Fatalf("Auditor.Name = %q, want the wrapped runner's name", a.Name())
+	}
+	res, err := a.RunKernel(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Insts == 0 || res.SimTime == 0 {
+		t.Fatalf("audited run lost the result: %+v", res)
+	}
+	if a.Kernels() != 1 {
+		t.Fatalf("Kernels = %d, want 1", a.Kernels())
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("clean run reported violations: %v", err)
+	}
+}
+
+// brokenRunner under-reports the instruction count without erroring, the
+// shape of bug the auditor exists to catch.
+type brokenRunner struct{ inner gpu.Runner }
+
+func (b brokenRunner) Name() string { return "broken" }
+
+func (b brokenRunner) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, error) {
+	res, err := b.inner.RunKernel(g, l)
+	res.Insts = 0
+	return res, err
+}
+
+// TestAuditorFlagsViolation: a result claiming zero instructions for a grid
+// of warps must be recorded — and not fail the run itself.
+func TestAuditorFlagsViolation(t *testing.T) {
+	c := RandomCase("audit-bad", 8)
+	l, _, err := c.NewLaunch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAuditor(brokenRunner{gpu.FullRunner{}})
+	if _, err := a.RunKernel(gpu.New(SmallGPU()), l); err != nil {
+		t.Fatalf("audit must not fail the run: %v", err)
+	}
+	err = a.Err()
+	if err == nil {
+		t.Fatal("auditor missed an under-reported instruction count")
+	}
+	if !strings.Contains(err.Error(), "audit-bad") {
+		t.Fatalf("violation does not name the kernel: %v", err)
+	}
+}

@@ -1,0 +1,22 @@
+package verify
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+func TestBigSweep(t *testing.T) {
+	n, _ := strconv.Atoi(os.Getenv("VERIFY_BIG_SWEEP"))
+	if n == 0 {
+		t.Skip("set VERIFY_BIG_SWEEP=n")
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(5_000_000 + i)
+		c := RandomCase(fmt.Sprintf("sweep%d", i), seed)
+		if vs := RunCase(c); len(vs) > 0 {
+			t.Fatalf("seed %d:\n%s\ncase:\n%s", seed, violationText(vs), c.Format())
+		}
+	}
+}

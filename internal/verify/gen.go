@@ -1,0 +1,383 @@
+package verify
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"photon/internal/sim/isa"
+)
+
+// source supplies the bounded decisions program construction makes.
+// randSource draws from a seeded PRNG (RandomCase); byteSource replays
+// fuzzer-chosen bytes (DecodeCase), so `go test -fuzz` explores exactly the
+// structurally-valid program space the seeded generator covers — every
+// decoded input is a race-free program the differential check can run.
+type source interface {
+	intn(n int) int
+}
+
+type randSource struct{ r *rand.Rand }
+
+func (s randSource) intn(n int) int { return s.r.Intn(n) }
+
+// byteSource reads one byte per decision and yields zero once the input is
+// exhausted, so every byte string decodes to some finite program.
+type byteSource struct {
+	data []byte
+	pos  int
+}
+
+func (s *byteSource) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var b byte
+	if s.pos < len(s.data) {
+		b = s.data[s.pos]
+		s.pos++
+	}
+	return int(b) % n
+}
+
+func chance(s source, pct int) bool { return s.intn(100) < pct }
+
+// Register conventions of generated programs. The prologue computes the
+// warp's private addresses once; items use only the scratch ranges, so the
+// address registers stay live for the whole program.
+const (
+	regLaneOff = 1 // v1 = lane*4
+	regOutAddr = 2 // v2 = own output segment base + lane*4
+	regLDSAddr = 3 // v3 = own LDS slot base + lane*4
+	regOutBase = 4 // s4 = own output segment base
+	regLDSBase = 5 // s5 = own LDS slot base
+	regLoop    = 6 // s6 = bounded-loop counter
+
+	argInBase     = 8  // s8: read-only input segment
+	argOutBase    = 9  // s9: per-warp output segments
+	argAtomicBase = 10 // s10: shared atomic segment
+
+	firstScratchV = 4
+	numScratchV   = 4
+	firstScratchS = 11
+	numScratchS   = 5
+
+	// ldsSlotBytes is each warp's private LDS slot: 64 lanes * 4 bytes.
+	ldsSlotBytes = 256
+)
+
+// RandomCase generates a deterministic random case from the seed. The
+// programs exercise data-dependent addressing, divergence via exec-mask
+// regions, bounded data-dependent loops, LDS with barrier phase discipline,
+// and shared-memory atomics — while staying schedule-independent by
+// construction (see the package comment).
+func RandomCase(name string, seed int64) *Case {
+	return buildCase(randSource{rand.New(rand.NewSource(seed))}, name, seed)
+}
+
+// DecodeCase maps arbitrary bytes onto the same generator, for fuzzing. The
+// input seed is derived from the bytes, so a corpus file fully determines
+// its case.
+func DecodeCase(data []byte) *Case {
+	h := fnv.New64a()
+	h.Write(data)
+	return buildCase(&byteSource{data: data}, "fuzz", int64(h.Sum64()))
+}
+
+type gen struct {
+	s        source
+	b        *isa.Builder
+	c        *Case
+	atomicOp isa.Op
+	useLDS   bool
+
+	labels    int
+	execDepth int
+	skipDepth int
+	inLoop    bool
+}
+
+func buildCase(s source, name string, seed int64) *Case {
+	c := &Case{
+		Name:            name,
+		Seed:            seed,
+		WarpsPerGroup:   []int{1, 2, 4}[s.intn(3)],
+		NumWorkgroups:   1 + s.intn(3),
+		InWords:         1 << (4 + s.intn(5)), // 16..256 words
+		OutWordsPerWarp: 64 << s.intn(2),      // 64 or 128 words (>= one per lane)
+		AtomicWords:     1 << (2 + s.intn(3)), // 4..16 words
+	}
+	g := &gen{
+		s: s,
+		b: isa.NewBuilder(name),
+		c: c,
+		// One commutative-associative atomic op per program: mixing op kinds
+		// on the shared segment would make the final value depend on warp
+		// interleaving, which differs between the engines by design.
+		atomicOp: []isa.Op{isa.OpVAtomicAdd, isa.OpVAtomicMax, isa.OpVAtomicMin}[s.intn(3)],
+		useLDS:   chance(s, 60),
+	}
+	if g.useLDS {
+		c.LDSBytes = c.WarpsPerGroup * ldsSlotBytes
+		g.b.SetLDS(c.LDSBytes)
+	}
+	g.prologue()
+	// Phases alternate LDS write-own / read-any; barriers between phases keep
+	// the read side ordered after every writer.
+	phases := 1 + s.intn(4)
+	for p := 0; p < phases; p++ {
+		g.items(2+s.intn(6), p%2 == 0)
+		if p+1 < phases {
+			g.b.Barrier()
+		}
+	}
+	g.b.End()
+	prog := g.b.MustBuild()
+	c.Insts = prog.Insts
+	c.prog = prog
+	return c
+}
+
+func (g *gen) prologue() {
+	b, c := g.b, g.c
+	b.I(isa.OpVLShl, isa.V(regLaneOff), isa.V(0), isa.Imm(2))
+	b.I(isa.OpSMul, isa.S(regOutBase), isa.S(2), isa.Imm(int32(c.OutWordsPerWarp*4)))
+	b.I(isa.OpSAdd, isa.S(regOutBase), isa.S(regOutBase), isa.S(argOutBase))
+	b.I(isa.OpVAdd, isa.V(regOutAddr), isa.V(regLaneOff), isa.S(regOutBase))
+	if g.useLDS {
+		b.I(isa.OpSLShl, isa.S(regLDSBase), isa.S(1), isa.Imm(8))
+		b.I(isa.OpVAdd, isa.V(regLDSAddr), isa.V(regLaneOff), isa.S(regLDSBase))
+	}
+	// Baseline store so every case writes observable output.
+	b.Store(isa.OpVStore, isa.V(regOutAddr), isa.V(0), 0)
+}
+
+func (g *gen) newLabel() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+func (g *gen) scratchV() isa.Operand { return isa.V(g.scratchVIdx()) }
+func (g *gen) scratchVIdx() int      { return firstScratchV + g.s.intn(numScratchV) }
+func (g *gen) scratchS() isa.Operand { return isa.S(g.scratchSIdx()) }
+func (g *gen) scratchSIdx() int      { return firstScratchS + g.s.intn(numScratchS) }
+
+// valV picks a per-lane source operand: scratch registers, the lane id, a
+// broadcast dispatch scalar, or an immediate.
+func (g *gen) valV() isa.Operand {
+	switch g.s.intn(6) {
+	case 0:
+		return isa.V(0)
+	case 1:
+		return isa.V(regLaneOff)
+	case 2, 3:
+		return g.scratchV()
+	case 4:
+		return isa.S(g.s.intn(4))
+	default:
+		return isa.Imm(int32(g.s.intn(1<<16)) - 1<<12)
+	}
+}
+
+// valS picks a scalar source operand.
+func (g *gen) valS() isa.Operand {
+	switch g.s.intn(4) {
+	case 0:
+		return isa.S(g.s.intn(4))
+	case 1, 2:
+		return g.scratchS()
+	default:
+		return isa.Imm(int32(g.s.intn(1<<16)) - 1<<12)
+	}
+}
+
+func (g *gen) items(n int, writePhase bool) {
+	for i := 0; i < n; i++ {
+		g.item(writePhase)
+	}
+}
+
+// maskedVAddr emits address arithmetic clamping a data-dependent value into
+// a power-of-two segment of `words` words above base, returning the vector
+// register holding the byte address.
+func (g *gen) maskedVAddr(words int, base isa.Operand) int {
+	t := g.scratchVIdx()
+	g.b.I(isa.OpVAnd, isa.V(t), g.valV(), isa.Imm(int32(words-1)))
+	g.b.I(isa.OpVLShl, isa.V(t), isa.V(t), isa.Imm(2))
+	if base.Kind != isa.OperandNone {
+		g.b.I(isa.OpVAdd, isa.V(t), isa.V(t), base)
+	}
+	return t
+}
+
+func (g *gen) vcmp() {
+	ops := []isa.Op{isa.OpVCmpLt, isa.OpVCmpLe, isa.OpVCmpEq, isa.OpVCmpNe,
+		isa.OpVCmpGt, isa.OpVCmpGe, isa.OpVFCmpLt, isa.OpVFCmpGt}
+	g.b.I(ops[g.s.intn(len(ops))], isa.Operand{}, g.valV(), g.valV())
+}
+
+func (g *gen) scmp() {
+	ops := []isa.Op{isa.OpSCmpLt, isa.OpSCmpLe, isa.OpSCmpEq,
+		isa.OpSCmpNe, isa.OpSCmpGt, isa.OpSCmpGe}
+	g.b.I(ops[g.s.intn(len(ops))], isa.Operand{}, g.valS(), g.valS())
+}
+
+func (g *gen) item(writePhase bool) {
+	b, s := g.b, g.s
+	switch s.intn(20) {
+	case 0, 1, 2: // vector integer ALU
+		ops := []isa.Op{isa.OpVMov, isa.OpVAdd, isa.OpVSub, isa.OpVMul, isa.OpVMad,
+			isa.OpVLShl, isa.OpVLShr, isa.OpVAnd, isa.OpVOr, isa.OpVXor,
+			isa.OpVMin, isa.OpVMax}
+		op := ops[s.intn(len(ops))]
+		switch op {
+		case isa.OpVMov:
+			b.I(op, g.scratchV(), g.valV())
+		case isa.OpVMad:
+			b.I(op, g.scratchV(), g.valV(), g.valV(), g.valV())
+		default:
+			b.I(op, g.scratchV(), g.valV(), g.valV())
+		}
+	case 3: // vector divide/remainder — by a nonzero immediate only
+		op := []isa.Op{isa.OpVDiv, isa.OpVMod}[s.intn(2)]
+		b.I(op, g.scratchV(), g.valV(), isa.Imm(int32(1+s.intn(30))))
+	case 4: // vector floating point (deterministic in-process, NaNs included)
+		ops := []isa.Op{isa.OpVFAdd, isa.OpVFSub, isa.OpVFMul, isa.OpVFFma,
+			isa.OpVFMin, isa.OpVFMax, isa.OpVFRcp, isa.OpVFSqrt, isa.OpVFExp,
+			isa.OpVFAbs, isa.OpVCvtI2F, isa.OpVCvtF2I}
+		op := ops[s.intn(len(ops))]
+		switch op {
+		case isa.OpVFRcp, isa.OpVFSqrt, isa.OpVFExp, isa.OpVFAbs,
+			isa.OpVCvtI2F, isa.OpVCvtF2I:
+			b.I(op, g.scratchV(), g.valV())
+		case isa.OpVFFma:
+			b.I(op, g.scratchV(), g.valV(), g.valV(), g.valV())
+		default:
+			b.I(op, g.scratchV(), g.valV(), g.valV())
+		}
+	case 5, 6: // scalar ALU
+		ops := []isa.Op{isa.OpSMov, isa.OpSAdd, isa.OpSSub, isa.OpSMul,
+			isa.OpSLShl, isa.OpSLShr, isa.OpSAnd, isa.OpSOr, isa.OpSXor,
+			isa.OpSMin, isa.OpSMax}
+		op := ops[s.intn(len(ops))]
+		if op == isa.OpSMov {
+			b.I(op, g.scratchS(), g.valS())
+		} else {
+			b.I(op, g.scratchS(), g.valS(), g.valS())
+		}
+	case 7: // scalar divide/remainder — nonzero immediate divisor
+		op := []isa.Op{isa.OpSDiv, isa.OpSMod}[s.intn(2)]
+		b.I(op, g.scratchS(), g.valS(), isa.Imm(int32(1+s.intn(30))))
+	case 8, 9: // vector load from the read-only input segment
+		t := g.maskedVAddr(g.c.InWords, isa.S(argInBase))
+		b.Load(isa.OpVLoad, g.scratchV(), isa.V(t), 0)
+		if chance(s, 30) {
+			b.Waitcnt(0)
+		}
+	case 10: // vector store into the warp's own output segment
+		t := g.maskedVAddr(g.c.OutWordsPerWarp, isa.S(regOutBase))
+		b.Store(isa.OpVStore, isa.V(t), g.valV(), 0)
+	case 11: // vector load back from the warp's own output segment
+		t := g.maskedVAddr(g.c.OutWordsPerWarp, isa.S(regOutBase))
+		b.Load(isa.OpVLoad, g.scratchV(), isa.V(t), 0)
+	case 12: // lane-indexed store through the precomputed v2 address
+		b.Store(isa.OpVStore, isa.V(regOutAddr), g.valV(), 0)
+	case 13: // scalar load from the input segment
+		t := g.scratchSIdx()
+		b.I(isa.OpSAnd, isa.S(t), g.valS(), isa.Imm(int32(g.c.InWords-1)))
+		b.I(isa.OpSLShl, isa.S(t), isa.S(t), isa.Imm(2))
+		b.I(isa.OpSAdd, isa.S(t), isa.S(t), isa.S(argInBase))
+		b.Load(isa.OpSLoad, g.scratchS(), isa.S(t), 0)
+	case 14: // atomic to the shared segment; old value discarded (Dst none)
+		t := g.maskedVAddr(g.c.AtomicWords, isa.S(argAtomicBase))
+		b.I(g.atomicOp, isa.Operand{}, isa.V(t), g.valV())
+	case 15: // LDS: write own slot in even phases, read anywhere in odd ones
+		if !g.useLDS {
+			g.vcmp()
+			return
+		}
+		if writePhase {
+			b.Store(isa.OpLDSStore, isa.V(regLDSAddr), g.valV(), 0)
+		} else {
+			t := g.maskedVAddr(g.c.LDSBytes/4, isa.Operand{})
+			b.Load(isa.OpLDSLoad, g.scratchV(), isa.V(t), 0)
+		}
+	case 16: // vector compare (feeds VCC for later masking/branching)
+		g.vcmp()
+	case 17: // scalar compare (feeds SCC)
+		g.scmp()
+	case 18: // exec-mask divergence region
+		if g.execDepth >= 2 {
+			g.vcmp()
+			return
+		}
+		g.execRegion(writePhase)
+	default: // control flow: bounded loop, forward skip, or a waitcnt
+		switch {
+		case !g.inLoop && chance(s, 40):
+			g.loop(writePhase)
+		case g.skipDepth < 2:
+			g.skip(writePhase)
+		default:
+			b.Waitcnt(int32(s.intn(2)))
+		}
+	}
+}
+
+// execRegion emits the GCN if/else idiom: compare, save EXEC while masking
+// to the taken lanes, run the then-arm, optionally flip to the complement
+// for an else-arm, restore EXEC. The save slot is indexed by nesting depth,
+// so nested regions use distinct slots and sibling regions reuse them —
+// exactly how a compiler would allocate them.
+func (g *gen) execRegion(writePhase bool) {
+	slot := g.execDepth
+	g.vcmp()
+	g.b.I(isa.OpSAndSaveExec, isa.Mask(slot))
+	g.execDepth++
+	g.items(1+g.s.intn(3), writePhase)
+	if chance(g.s, 40) {
+		g.b.I(isa.OpSAndNotExec, isa.Operand{}, isa.Mask(slot))
+		g.items(1+g.s.intn(2), writePhase)
+	}
+	g.execDepth--
+	g.b.I(isa.OpSSetExec, isa.Operand{}, isa.Mask(slot))
+}
+
+// skip emits a data-dependent forward branch over a few instructions. The
+// condition register (SCC or VCC) is freshly computed, so whether the skip
+// is taken varies per warp with the input data.
+func (g *gen) skip(writePhase bool) {
+	g.skipDepth++
+	var op isa.Op
+	switch g.s.intn(3) {
+	case 0:
+		g.scmp()
+		op = []isa.Op{isa.OpCBranchSCC0, isa.OpCBranchSCC1}[g.s.intn(2)]
+	case 1:
+		g.vcmp()
+		op = []isa.Op{isa.OpCBranchVCCZ, isa.OpCBranchVCCNZ}[g.s.intn(2)]
+	default:
+		op = []isa.Op{isa.OpCBranchExecZ, isa.OpCBranchExecNZ}[g.s.intn(2)]
+	}
+	l := g.newLabel()
+	g.b.Br(op, l)
+	g.items(1+g.s.intn(3), writePhase)
+	g.b.Label(l)
+	g.skipDepth--
+}
+
+// loop emits a bounded counted loop (1..4 iterations) on the dedicated
+// counter register. Loops never nest, so one counter suffices, and no item
+// writes regLoop, so the bound always holds.
+func (g *gen) loop(writePhase bool) {
+	n := 1 + g.s.intn(4)
+	g.b.I(isa.OpSMov, isa.S(regLoop), isa.Imm(int32(n)))
+	top := g.newLabel()
+	g.b.Label(top)
+	g.inLoop = true
+	g.items(1+g.s.intn(3), writePhase)
+	g.inLoop = false
+	g.b.I(isa.OpSSub, isa.S(regLoop), isa.S(regLoop), isa.Imm(1))
+	g.b.I(isa.OpSCmpGt, isa.Operand{}, isa.S(regLoop), isa.Imm(0))
+	g.b.Br(isa.OpCBranchSCC1, top)
+}
