@@ -59,7 +59,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		perf       = fs.Bool("perf", false, "run the hot-path performance baseline instead of experiments")
-		perfOut    = fs.String("perf-out", "BENCH_PR3.json", "where -perf writes its JSON report")
+		perfOut    = fs.String("perf-out", "BENCH_PR6.json", "where -perf writes its JSON report")
 		version    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {

@@ -50,6 +50,38 @@ type EndToEnd struct {
 	InstsPerSec  float64 `json:"insts_per_sec"`
 }
 
+// Footprint is the memory-footprint-per-warp report: the byte budget of the
+// structure-of-arrays WarpStore for the end-to-end app's first kernel on
+// the R9 Nano geometry, against an estimate of the pre-SoA per-object warp
+// layout. CI asserts bytes_per_warp stays positive and below the AoS
+// estimate, so layout regressions show up as failed assertions.
+type Footprint struct {
+	App string `json:"app"`
+	// WarpSlots is the resident slot count the timing machine sizes its
+	// store to at launch (device capacity capped by the grid).
+	WarpSlots int `json:"warp_slots"`
+	// BytesPerWarp is the SoA slab bytes per warp slot.
+	BytesPerWarp int `json:"bytes_per_warp"`
+	// ResidentBytes is WarpSlots × BytesPerWarp: peak architectural warp
+	// state resident in the detailed machine.
+	ResidentBytes int `json:"resident_bytes"`
+	// AoSBytesPerWarp estimates the PR 3-era array-of-structs layout: the
+	// same architectural bytes plus the per-object overhead the SoA store
+	// eliminated (see aosExtraBytesPerWarp).
+	AoSBytesPerWarp int     `json:"aos_bytes_per_warp"`
+	SavingsPct      float64 `json:"savings_pct"`
+	// ReplayBatchGroups is how many workgroups the batched fast-forward
+	// path binds per pass under its default byte budget.
+	ReplayBatchGroups int `json:"replay_batch_groups"`
+}
+
+// aosExtraBytesPerWarp is the per-warp overhead of the pre-SoA layout that
+// the shared-slab store eliminated: a 64-lane address scratch buffer
+// ([64]uint64, now one per store), three slice headers for the sgpr/vgpr/
+// BBCounts backings (3×24), and ~16 bytes of unpacked bool/pad scalar
+// fields now folded into one flags byte lane.
+const aosExtraBytesPerWarp = 512 + 3*24 + 16
+
 // Report is the full perf baseline written to BENCH_<PR>.json.
 type Report struct {
 	GoVersion string `json:"go_version"`
@@ -59,8 +91,9 @@ type Report struct {
 	Micro []Result `json:"micro"`
 	// EngineSpeedupX is the wheel+4-ary-heap engine's events/sec over the
 	// container/heap reference on the same workload.
-	EngineSpeedupX float64  `json:"event_engine_speedup_x"`
-	EndToEnd       EndToEnd `json:"end_to_end"`
+	EngineSpeedupX float64   `json:"event_engine_speedup_x"`
+	EndToEnd       EndToEnd  `json:"end_to_end"`
+	Footprint      Footprint `json:"footprint"`
 
 	TotalWallSeconds float64 `json:"total_wall_seconds"`
 }
@@ -186,13 +219,46 @@ func emuStepBench(insts *uint64) func(*testing.B) {
 			b.Fatal(err)
 		}
 		for _, w := range grp.Warps {
-			*insts += w.InstCount
+			*insts += w.InstCount()
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			grp.Reset(l, 0)
 			if err := grp.RunFunctional(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// emuReplayBench measures the batched fast-forward path: a Replayer sweeps
+// 64 workgroups per op through shared slabs, the loop sampled modes spend
+// their time in. Steady-state replay must stay allocation-free.
+func emuReplayBench(insts *uint64) func(*testing.B) {
+	return func(b *testing.B) {
+		l := &kernel.Launch{
+			Name: "bench-loop", Program: loopProgram(), Memory: mem.NewFlat(),
+			NumWorkgroups: 64, WarpsPerGroup: 4,
+		}
+		if err := l.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		rep := emu.NewReplayer(l, emu.ReplayBatchGroups(l, emu.DefaultReplayBudgetBytes))
+		var total uint64
+		err := rep.RunRange(0, l.NumWorkgroups, func(_ int, warps []emu.Warp) {
+			for i := range warps {
+				total += warps[i].InstCount()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		*insts = total
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rep.RunRange(0, l.NumWorkgroups, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -262,6 +328,14 @@ func Run(w io.Writer) (Report, error) {
 	fmt.Fprintf(w, "%-22s %12.1f ns/op %9d allocs/op %14.0f insts/s\n",
 		res.Name, res.NsPerOp, res.AllocsPerOp, res.InstsPerSec)
 
+	var replayInstsPerOp uint64
+	r = testing.Benchmark(emuReplayBench(&replayInstsPerOp))
+	res = toResult("emu_batch_replay", r)
+	res.InstsPerSec = perSec(float64(replayInstsPerOp), res.NsPerOp)
+	rep.Micro = append(rep.Micro, res)
+	fmt.Fprintf(w, "%-22s %12.1f ns/op %9d allocs/op %14.0f insts/s\n",
+		res.Name, res.NsPerOp, res.AllocsPerOp, res.InstsPerSec)
+
 	e2e, err := runEndToEnd()
 	if err != nil {
 		return rep, err
@@ -269,6 +343,14 @@ func Run(w io.Writer) (Report, error) {
 	rep.EndToEnd = e2e
 	fmt.Fprintf(w, "%-22s %12.2f s wall %12d sim-cycles %12.0f cycles/s\n",
 		"end_to_end:"+e2e.App, e2e.WallSeconds, e2e.SimCycles, e2e.CyclesPerSec)
+
+	fp, err := footprintReport()
+	if err != nil {
+		return rep, err
+	}
+	rep.Footprint = fp
+	fmt.Fprintf(w, "%-22s %12d B/warp %9d slots %11.1f%% vs AoS\n",
+		"warp_footprint:"+fp.App, fp.BytesPerWarp, fp.WarpSlots, fp.SavingsPct)
 
 	rep.TotalWallSeconds = time.Since(start).Seconds()
 	return rep, nil
@@ -303,6 +385,32 @@ func runEndToEnd() (EndToEnd, error) {
 		e.InstsPerSec = float64(e.Insts) / wall
 	}
 	return e, nil
+}
+
+// footprintReport sizes the SoA warp store for the end-to-end app's first
+// kernel on the R9 Nano geometry and compares its per-warp byte budget to
+// the pre-SoA per-object layout estimate.
+func footprintReport() (Footprint, error) {
+	spec, err := workloads.FindSpec("ReLU")
+	if err != nil {
+		return Footprint{}, err
+	}
+	app, err := spec.Build(spec.Sizes[0])
+	if err != nil {
+		return Footprint{}, err
+	}
+	l := app.Launches[0]
+	slots, perWarp := gpu.New(gpu.R9Nano()).WarpStoreBudget(l)
+	fp := Footprint{
+		App:               fmt.Sprintf("%s/%d", spec.Abbr, spec.Sizes[0]),
+		WarpSlots:         slots,
+		BytesPerWarp:      perWarp,
+		ResidentBytes:     slots * perWarp,
+		AoSBytesPerWarp:   perWarp + aosExtraBytesPerWarp,
+		ReplayBatchGroups: emu.ReplayBatchGroups(l, emu.DefaultReplayBudgetBytes),
+	}
+	fp.SavingsPct = 100 * float64(fp.AoSBytesPerWarp-fp.BytesPerWarp) / float64(fp.AoSBytesPerWarp)
+	return fp, nil
 }
 
 // WriteFile writes the report as indented JSON.

@@ -61,19 +61,19 @@ func AnalyzeOnline(l *kernel.Launch, fraction float64) (*Profile, error) {
 		}
 		for _, w := range grp.Warps {
 			p.SampledWarps++
-			p.SampledInsts += w.InstCount
-			id := bbv.TypeID(l.Program, w.BBCounts)
+			p.SampledInsts += w.InstCount()
+			id := bbv.TypeID(l.Program, w.BBCounts())
 			tp, ok := p.Types[id]
 			if !ok {
 				tp = &bbv.TypeProfile{
 					ID:     id,
-					Insts:  w.InstCount,
-					Vector: bbv.FromCounts(l.Program, w.BBCounts),
+					Insts:  w.InstCount(),
+					Vector: bbv.FromCounts(l.Program, w.BBCounts()),
 				}
 				p.Types[id] = tp
 			}
 			tp.Count++
-			for bi, c := range w.BBCounts {
+			for bi, c := range w.BBCounts() {
 				p.BlockInsts[bi] += uint64(c) * uint64(l.Program.Blocks[bi].Len)
 			}
 		}

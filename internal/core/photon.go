@@ -255,21 +255,21 @@ func (p *Photon) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, erro
 		lm := NewLatencyModel(latTab, g.Config().Compute, p.params.DefaultMemLatency)
 		durations := make([]float64, 0, l.NumWorkgroups-res.NextWG)
 		insts := res.InstCount
-		var grp emu.Group
-		for wg := res.NextWG; wg < l.NumWorkgroups; wg++ {
-			grp.Reset(l, wg)
-			if err := grp.RunFunctional(); err != nil {
-				return gpu.KernelResult{}, fmt.Errorf("core: bb-sampling fast-forward: %w", err)
-			}
+		rep := emu.NewReplayer(l, emu.ReplayBatchGroups(l, emu.DefaultReplayBudgetBytes))
+		err := rep.RunRange(res.NextWG, l.NumWorkgroups-res.NextWG, func(_ int, warps []emu.Warp) {
 			groupDur := 0.0
-			for _, w := range grp.Warps {
-				insts += w.InstCount
-				d := bbT.predictWarpTime(w.BBCounts, lm, l.Program, g.Config().Compute)
+			for i := range warps {
+				w := &warps[i]
+				insts += w.InstCount()
+				d := bbT.predictWarpTime(w.BBCounts(), lm, l.Program, g.Config().Compute)
 				if d > groupDur {
 					groupDur = d
 				}
 			}
 			durations = append(durations, groupDur)
+		})
+		if err != nil {
+			return gpu.KernelResult{}, fmt.Errorf("core: bb-sampling fast-forward: %w", err)
 		}
 		end := PredictMakespan(float64(res.GateTime), float64(res.EndTime), durations, shape)
 		result.SimTime = eventTime(end)

@@ -1,0 +1,69 @@
+package emu
+
+import (
+	"testing"
+
+	"photon/internal/sim/isa"
+	"photon/internal/sim/kernel"
+	"photon/internal/sim/mem"
+)
+
+// benchLoopProgram mirrors the internal/bench loop kernel (init, 32-trip
+// loop body, exit) so the package benchmarks track the same hot path the
+// perf suite reports.
+func benchLoopProgram() *isa.Program {
+	b := isa.NewBuilder("bench-loop")
+	b.I(isa.OpSMov, isa.S(4), isa.Imm(0))
+	b.Label("top")
+	b.I(isa.OpVAdd, isa.V(1), isa.V(0), isa.S(4))
+	b.I(isa.OpVMul, isa.V(2), isa.V(1), isa.V(1))
+	b.I(isa.OpSAdd, isa.S(4), isa.S(4), isa.Imm(1))
+	b.I(isa.OpSCmpLt, isa.Operand{}, isa.S(4), isa.Imm(32))
+	b.Br(isa.OpCBranchSCC1, "top")
+	b.End()
+	return b.MustBuild()
+}
+
+func benchLoopLaunch(b *testing.B, groups, wpg int) *kernel.Launch {
+	b.Helper()
+	l := &kernel.Launch{
+		Name: "bench-loop", Program: benchLoopProgram(), Memory: mem.NewFlat(),
+		NumWorkgroups: groups, WarpsPerGroup: wpg,
+	}
+	if err := l.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkGroupFunctional(b *testing.B) {
+	l := benchLoopLaunch(b, 1, 4)
+	var grp Group
+	grp.Reset(l, 0)
+	if err := grp.RunFunctional(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grp.Reset(l, 0)
+		if err := grp.RunFunctional(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchReplay(b *testing.B) {
+	l := benchLoopLaunch(b, 64, 4)
+	rep := NewReplayer(l, ReplayBatchGroups(l, DefaultReplayBudgetBytes))
+	if err := rep.RunRange(0, l.NumWorkgroups, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rep.RunRange(0, l.NumWorkgroups, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

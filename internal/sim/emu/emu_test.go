@@ -110,18 +110,18 @@ func TestBBCountsMatchLoopTripCount(t *testing.T) {
 	l := &kernel.Launch{Name: "loop10", Program: p, Memory: m, NumWorkgroups: 1, WarpsPerGroup: 1}
 	w := NewWarp(l, 0, nil)
 	var info StepInfo
-	for !w.Done {
+	for !w.Done() {
 		w.Step(&info)
 	}
 	// Blocks: [0,1) entry, [1,4) body, [4,5) end.
-	if got := w.BBCounts[1]; got != 10 {
+	if got := w.BBCounts()[1]; got != 10 {
 		t.Fatalf("loop body entered %d times, want 10", got)
 	}
-	if w.BBCounts[0] != 1 || w.BBCounts[2] != 1 {
-		t.Fatalf("entry/exit counts = %d/%d, want 1/1", w.BBCounts[0], w.BBCounts[2])
+	if w.BBCounts()[0] != 1 || w.BBCounts()[2] != 1 {
+		t.Fatalf("entry/exit counts = %d/%d, want 1/1", w.BBCounts()[0], w.BBCounts()[2])
 	}
-	if w.InstCount != 1+3*10+1 {
-		t.Fatalf("InstCount = %d, want 32", w.InstCount)
+	if w.InstCount() != 1+3*10+1 {
+		t.Fatalf("InstCount = %d, want 32", w.InstCount())
 	}
 }
 
@@ -150,7 +150,7 @@ func TestDivergentLaneLoop(t *testing.T) {
 	l := &kernel.Launch{Name: "divloop", Program: p, Memory: m, NumWorkgroups: 1, WarpsPerGroup: 1}
 	w := NewWarp(l, 0, nil)
 	var info StepInfo
-	for !w.Done {
+	for !w.Done() {
 		w.Step(&info)
 	}
 	for lane := 0; lane < kernel.WavefrontSize; lane++ {
@@ -158,8 +158,8 @@ func TestDivergentLaneLoop(t *testing.T) {
 			t.Fatalf("lane %d acc = %d, want %d", lane, got, want)
 		}
 	}
-	if w.Exec != ^uint64(0) {
-		t.Fatalf("EXEC not restored: %#x", w.Exec)
+	if w.Exec() != ^uint64(0) {
+		t.Fatalf("EXEC not restored: %#x", w.Exec())
 	}
 }
 
@@ -231,7 +231,7 @@ func TestVectorMemReportsAddresses(t *testing.T) {
 		if info.Kind == StepVectorMem {
 			break
 		}
-		if w.Done {
+		if w.Done() {
 			t.Fatal("no vector memory op executed")
 		}
 	}
@@ -263,7 +263,7 @@ func TestBarrierWithExitedWarpReleases(t *testing.T) {
 		t.Fatalf("group with exited warp did not complete: %v", err)
 	}
 	for _, w := range g.Warps {
-		if !w.Done {
+		if !w.Done() {
 			t.Fatalf("warp %d not done", w.GlobalID)
 		}
 	}
@@ -305,7 +305,7 @@ func TestAtomicAdd(t *testing.T) {
 		NumWorkgroups: 1, WarpsPerGroup: 1, Args: []uint32{uint32(counter)}}
 	w := NewWarp(l, 0, nil)
 	var info StepInfo
-	for !w.Done {
+	for !w.Done() {
 		w.Step(&info)
 	}
 	if got := m.Read32(counter); got != 64 {
@@ -336,7 +336,7 @@ func TestAtomicMax(t *testing.T) {
 		NumWorkgroups: 1, WarpsPerGroup: 1, Args: []uint32{uint32(cell)}}
 	w := NewWarp(l, 0, nil)
 	var info StepInfo
-	for !w.Done {
+	for !w.Done() {
 		w.Step(&info)
 		if info.Kind == StepAtomic && len(info.Addrs) != 64 {
 			t.Fatalf("atomic reported %d lane addresses, want 64", len(info.Addrs))
@@ -387,11 +387,11 @@ func TestPropertyRandomALUPrograms(t *testing.T) {
 				NumWorkgroups: 1, WarpsPerGroup: 1}
 			w := NewWarp(l, 0, nil)
 			var info StepInfo
-			for !w.Done {
+			for !w.Done() {
 				w.Step(&info)
 			}
-			if w.InstCount != uint64(nInsts+1) {
-				t.Fatalf("seed %d: InstCount %d != %d", seed, w.InstCount, nInsts+1)
+			if w.InstCount() != uint64(nInsts+1) {
+				t.Fatalf("seed %d: InstCount %d != %d", seed, w.InstCount(), nInsts+1)
 			}
 			out := make([]uint32, p.NumVRegs)
 			for r := range out {
@@ -441,10 +441,10 @@ func TestPropertyDivergenceMaskInvariant(t *testing.T) {
 			NumWorkgroups: 1, WarpsPerGroup: 1}
 		w := NewWarp(l, 0, nil)
 		var info StepInfo
-		for !w.Done {
+		for !w.Done() {
 			w.Step(&info)
 		}
-		if w.Exec != ^uint64(0) {
+		if w.Exec() != ^uint64(0) {
 			return false
 		}
 		for lane := 0; lane < kernel.WavefrontSize; lane++ {

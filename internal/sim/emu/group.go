@@ -8,14 +8,19 @@ import (
 
 // Group owns the warps of one workgroup plus their shared local data share,
 // and can run them functionally (no timing) while respecting barriers:
-// every warp runs to the next barrier (a "segment"), then all resume. This
-// is the fast-forward engine used by sampled modes and by Photon's online
-// analysis.
+// every warp runs to the next barrier (a "segment"), then all resume. The
+// warps live in the group's own WarpStore, bound to consecutive slots, so a
+// functional run sweeps one contiguous slab region. Photon's online
+// analysis samples workgroups through a recycled Group; the bulk
+// fast-forward paths batch many workgroups per store with a Replayer.
 type Group struct {
 	Launch *kernel.Launch
 	ID     int
 	Warps  []*Warp
 	LDS    []byte
+
+	store WarpStore
+	back  []Warp
 }
 
 // NewGroup instantiates workgroup groupID of the launch.
@@ -26,8 +31,8 @@ func NewGroup(l *kernel.Launch, groupID int) *Group {
 }
 
 // Reset points the group at workgroup groupID, reusing the LDS backing and
-// the warps' register files when possible. The fast-forward loops run every
-// workgroup of a kernel through one recycled Group, so steady-state
+// the store's register slabs when possible. The sampling loops run many
+// workgroups of a kernel through one recycled Group, so steady-state
 // functional execution does not allocate.
 func (g *Group) Reset(l *kernel.Launch, groupID int) {
 	g.Launch = l
@@ -42,12 +47,21 @@ func (g *Group) Reset(l *kernel.Launch, groupID int) {
 	} else {
 		g.LDS = nil
 	}
-	for len(g.Warps) < l.WarpsPerGroup {
-		g.Warps = append(g.Warps, &Warp{})
+	wpg := l.WarpsPerGroup
+	g.store.Configure(l, wpg)
+	if cap(g.back) < wpg {
+		g.back = make([]Warp, wpg)
 	}
-	g.Warps = g.Warps[:l.WarpsPerGroup]
-	for i, w := range g.Warps {
-		w.Reset(l, groupID*l.WarpsPerGroup+i, g.LDS)
+	g.back = g.back[:wpg]
+	for i := range g.back {
+		g.back[i] = g.store.Bind(i, groupID*wpg+i, g.LDS)
+	}
+	// Rebuild the pointer view unconditionally: the backing slice may have
+	// moved, and the capacity is reused so this does not allocate in steady
+	// state.
+	g.Warps = g.Warps[:0]
+	for i := range g.back {
+		g.Warps = append(g.Warps, &g.back[i])
 	}
 }
 
@@ -56,20 +70,28 @@ func (g *Group) Reset(l *kernel.Launch, groupID int) {
 // producer/consumer patterns (tile loads before a barrier, reads after) stay
 // functionally correct.
 func (g *Group) RunFunctional() error {
+	return runWarpsFunctional(g.Launch, g.ID, g.back)
+}
+
+// runWarpsFunctional runs the sibling warps of workgroup groupID to
+// completion with barrier alternation. warps is the contiguous slice of
+// handles for the workgroup; Group and Replayer share this loop.
+func runWarpsFunctional(l *kernel.Launch, groupID int, warps []Warp) error {
 	var info StepInfo
 	for {
 		allDone := true
 		anyAtBarrier := false
-		for _, w := range g.Warps {
-			if w.Done {
+		for i := range warps {
+			w := &warps[i]
+			if w.Done() {
 				continue
 			}
 			allDone = false
 			// Run the warp's next segment: until barrier or completion.
-			for !w.Done && !w.AtBarrier {
+			for !w.Done() && !w.AtBarrier() {
 				w.Step(&info)
 			}
-			if w.AtBarrier {
+			if w.AtBarrier() {
 				anyAtBarrier = true
 			}
 		}
@@ -78,35 +100,16 @@ func (g *Group) RunFunctional() error {
 		}
 		if anyAtBarrier {
 			// All live warps must be at the barrier together.
-			for _, w := range g.Warps {
-				if !w.Done && !w.AtBarrier {
+			for i := range warps {
+				w := &warps[i]
+				if !w.Done() && !w.AtBarrier() {
 					return fmt.Errorf("emu: %s group %d: warp %d missed a barrier",
-						g.Launch.Name, g.ID, w.GlobalID)
+						l.Name, groupID, w.GlobalID)
 				}
 			}
-			for _, w := range g.Warps {
-				w.AtBarrier = false
+			for i := range warps {
+				warps[i].ClearBarrier()
 			}
 		}
 	}
-}
-
-// RunKernelFunctional runs every workgroup of the launch functionally and
-// returns the total dynamic instruction count. It is the reference
-// functional execution used by tests and by full fast-forward mode.
-func RunKernelFunctional(l *kernel.Launch) (insts uint64, err error) {
-	if err := l.Validate(); err != nil {
-		return 0, err
-	}
-	var grp Group
-	for g := 0; g < l.NumWorkgroups; g++ {
-		grp.Reset(l, g)
-		if err := grp.RunFunctional(); err != nil {
-			return insts, err
-		}
-		for _, w := range grp.Warps {
-			insts += w.InstCount
-		}
-	}
-	return insts, nil
 }

@@ -1,0 +1,120 @@
+package emu
+
+import "photon/internal/sim/kernel"
+
+// DefaultReplayBudgetBytes bounds the slab footprint of one batched replay
+// pass: roughly cache-resident, large enough to amortize per-pass overhead.
+const DefaultReplayBudgetBytes = 4 << 20
+
+// ReplayBatchGroups returns how many workgroups a Replayer should bind per
+// pass so the warp slabs plus per-group LDS stay within budgetBytes,
+// clamped to [1, NumWorkgroups].
+func ReplayBatchGroups(l *kernel.Launch, budgetBytes int) int {
+	per := WarpBytes(l)*l.WarpsPerGroup + l.Program.LDSBytes
+	b := 1
+	if per > 0 {
+		b = budgetBytes / per
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b > l.NumWorkgroups {
+		b = l.NumWorkgroups
+	}
+	return b
+}
+
+// Replayer fast-forwards ranges of workgroups through the functional
+// emulator in sampled mode, binding a batch of workgroups into one shared
+// WarpStore per pass so replay sweeps contiguous slabs instead of
+// dispatching one heap-allocated workgroup at a time. Workgroups still
+// execute strictly in ascending ID order — cross-workgroup atomics make
+// global-memory ordering observable, so batching must not reorder them.
+type Replayer struct {
+	l     *kernel.Launch
+	batch int // workgroups bound per pass
+	store WarpStore
+	warps []Warp
+	lds   [][]byte // per batched group; nil when the program has no LDS
+}
+
+// NewReplayer builds a replayer for the launch binding batchGroups
+// workgroups per pass (clamped to [1, NumWorkgroups]); size batchGroups
+// with ReplayBatchGroups to meet a byte budget.
+func NewReplayer(l *kernel.Launch, batchGroups int) *Replayer {
+	if batchGroups < 1 {
+		batchGroups = 1
+	}
+	if batchGroups > l.NumWorkgroups {
+		batchGroups = l.NumWorkgroups
+	}
+	r := &Replayer{l: l, batch: batchGroups}
+	r.store.Configure(l, batchGroups*l.WarpsPerGroup)
+	r.warps = make([]Warp, batchGroups*l.WarpsPerGroup)
+	if n := l.Program.LDSBytes; n > 0 {
+		r.lds = make([][]byte, batchGroups)
+		for i := range r.lds {
+			r.lds[i] = make([]byte, n)
+		}
+	}
+	return r
+}
+
+// BatchGroups returns the number of workgroups bound per pass.
+func (r *Replayer) BatchGroups() int { return r.batch }
+
+// Store exposes the replayer's warp store (the bench footprint report reads
+// its byte budget).
+func (r *Replayer) Store() *WarpStore { return &r.store }
+
+// RunRange replays workgroups [first, first+count) in ID order. After each
+// workgroup completes, visit (when non-nil) receives its warp handles —
+// valid only during the callback, as the next pass rebinds the slots.
+func (r *Replayer) RunRange(first, count int, visit func(wg int, warps []Warp)) error {
+	wpg := r.l.WarpsPerGroup
+	for base := first; base < first+count; base += r.batch {
+		n := min(r.batch, first+count-base)
+		// Bind pass: one sweep over the slabs resets every warp of the
+		// batch. Binding touches only register state, so doing it up front
+		// cannot perturb the memory image the run pass produces.
+		for gi := 0; gi < n; gi++ {
+			var lds []byte
+			if r.lds != nil {
+				lds = r.lds[gi]
+				clear(lds)
+			}
+			for wi := 0; wi < wpg; wi++ {
+				slot := gi*wpg + wi
+				r.warps[slot] = r.store.Bind(slot, (base+gi)*wpg+wi, lds)
+			}
+		}
+		// Run pass: strictly ascending workgroup IDs.
+		for gi := 0; gi < n; gi++ {
+			warps := r.warps[gi*wpg : (gi+1)*wpg]
+			if err := runWarpsFunctional(r.l, base+gi, warps); err != nil {
+				return err
+			}
+			if visit != nil {
+				visit(base+gi, warps)
+			}
+		}
+	}
+	return nil
+}
+
+// RunKernelFunctional runs every workgroup of the launch functionally and
+// returns the total dynamic instruction count. It is the reference
+// functional execution used by tests and by full fast-forward mode; it
+// replays in batches sized to DefaultReplayBudgetBytes.
+func RunKernelFunctional(l *kernel.Launch) (insts uint64, err error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	r := NewReplayer(l, ReplayBatchGroups(l, DefaultReplayBudgetBytes))
+	err = r.RunRange(0, l.NumWorkgroups, func(_ int, warps []Warp) {
+		for i := range warps {
+			insts += warps[i].InstCount()
+		}
+	})
+	return insts, err
+}

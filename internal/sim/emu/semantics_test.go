@@ -22,14 +22,14 @@ func execOne(t *testing.T, in isa.Inst, a, b uint32, laneA, laneB func(lane int)
 	m := mem.NewFlat()
 	l := &kernel.Launch{Name: "sem", Program: prog, Memory: m, NumWorkgroups: 1, WarpsPerGroup: 1}
 	w := NewWarp(l, 0, nil)
-	w.sgpr[4], w.sgpr[5] = a, b
+	w.sregs()[4], w.sregs()[5] = a, b
 	if prog.NumVRegs > 2 {
 		for lane := 0; lane < kernel.WavefrontSize; lane++ {
 			if laneA != nil {
-				w.vgpr[1*kernel.WavefrontSize+lane] = laneA(lane)
+				w.vregs()[1*kernel.WavefrontSize+lane] = laneA(lane)
 			}
 			if laneB != nil {
-				w.vgpr[2*kernel.WavefrontSize+lane] = laneB(lane)
+				w.vregs()[2*kernel.WavefrontSize+lane] = laneB(lane)
 			}
 		}
 	}
@@ -95,8 +95,8 @@ func TestScalarCompareSemantics(t *testing.T) {
 	for _, c := range cases {
 		in := isa.Inst{Op: c.op, Src0: isa.S(4), Src1: isa.S(5)}
 		w := execOne(t, in, c.a, c.b, nil, nil)
-		if w.SCC != c.wantSCC {
-			t.Fatalf("%s(%#x, %#x): SCC = %v, want %v", c.op, c.a, c.b, w.SCC, c.wantSCC)
+		if w.SCC() != c.wantSCC {
+			t.Fatalf("%s(%#x, %#x): SCC = %v, want %v", c.op, c.a, c.b, w.SCC(), c.wantSCC)
 		}
 	}
 }
@@ -184,15 +184,15 @@ func TestVectorCompareWritesVCC(t *testing.T) {
 	laneID := func(lane int) uint32 { return uint32(lane) }
 	in := isa.Inst{Op: isa.OpVCmpLt, Src0: isa.V(1), Src1: isa.V(2)}
 	w := execOne(t, in, 0, 0, laneID, func(int) uint32 { return 8 })
-	if w.VCC != 0xff { // lanes 0..7 are < 8
-		t.Fatalf("VCC = %#x, want 0xff", w.VCC)
+	if w.VCC() != 0xff { // lanes 0..7 are < 8
+		t.Fatalf("VCC = %#x, want 0xff", w.VCC())
 	}
 	// FP compare.
 	in = isa.Inst{Op: isa.OpVFCmpGt, Src0: isa.V(1), Src1: isa.V(2)}
 	w = execOne(t, in, 0, 0,
 		func(l int) uint32 { return fb(float32(l)) }, func(int) uint32 { return fb(61.5) })
-	if w.VCC != 0xc000000000000000 { // lanes 62, 63
-		t.Fatalf("fp VCC = %#x", w.VCC)
+	if w.VCC() != 0xc000000000000000 { // lanes 62, 63
+		t.Fatalf("fp VCC = %#x", w.VCC())
 	}
 }
 
@@ -211,24 +211,24 @@ func TestExecMaskOps(t *testing.T) {
 	w := NewWarp(l, 0, nil)
 	var info StepInfo
 	w.Step(&info) // vcmp: lanes 0..3
-	if w.VCC != 0xf {
-		t.Fatalf("VCC = %#x", w.VCC)
+	if w.VCC() != 0xf {
+		t.Fatalf("VCC = %#x", w.VCC())
 	}
 	w.Step(&info) // saveexec
-	if w.Exec != 0xf {
-		t.Fatalf("EXEC after and_saveexec = %#x", w.Exec)
+	if w.Exec() != 0xf {
+		t.Fatalf("EXEC after and_saveexec = %#x", w.Exec())
 	}
 	w.Step(&info) // andnot: EXEC = saved &^ VCC = all &^ 0xf
-	if w.Exec != ^uint64(0xf) {
-		t.Fatalf("EXEC after andn2 = %#x", w.Exec)
+	if w.Exec() != ^uint64(0xf) {
+		t.Fatalf("EXEC after andn2 = %#x", w.Exec())
 	}
 	w.Step(&info) // setexec: restore saved
-	if w.Exec != ^uint64(0) {
-		t.Fatalf("EXEC after set = %#x", w.Exec)
+	if w.Exec() != ^uint64(0) {
+		t.Fatalf("EXEC after set = %#x", w.Exec())
 	}
 	w.Step(&info) // movexecall
-	if w.Exec != ^uint64(0) {
-		t.Fatalf("EXEC after mov_all = %#x", w.Exec)
+	if w.Exec() != ^uint64(0) {
+		t.Fatalf("EXEC after mov_all = %#x", w.Exec())
 	}
 }
 
@@ -243,7 +243,7 @@ func TestMaskedLanesDoNotWrite(t *testing.T) {
 	l := &kernel.Launch{Name: "mask", Program: prog, Memory: m, NumWorkgroups: 1, WarpsPerGroup: 1}
 	w := NewWarp(l, 0, nil)
 	var info StepInfo
-	for !w.Done {
+	for !w.Done() {
 		w.Step(&info)
 	}
 	if w.VReg(1, 0) != 99 || w.VReg(1, 1) != 99 {
@@ -270,12 +270,12 @@ func TestBranchSemantics(t *testing.T) {
 		}
 		var info StepInfo
 		w.Step(&info)
-		return w.PC
+		return w.PC()
 	}
 	if run(isa.OpSBranch, nil) != 2 {
 		t.Error("s_branch not taken")
 	}
-	if run(isa.OpCBranchSCC1, func(w *Warp) { w.SCC = true }) != 2 {
+	if run(isa.OpCBranchSCC1, func(w *Warp) { w.SetSCC(true) }) != 2 {
 		t.Error("scc1 branch not taken when SCC set")
 	}
 	if run(isa.OpCBranchSCC1, nil) != 1 {
@@ -287,10 +287,10 @@ func TestBranchSemantics(t *testing.T) {
 	if run(isa.OpCBranchVCCZ, nil) != 2 {
 		t.Error("vccz branch not taken with zero VCC")
 	}
-	if run(isa.OpCBranchVCCNZ, func(w *Warp) { w.VCC = 1 }) != 2 {
+	if run(isa.OpCBranchVCCNZ, func(w *Warp) { w.SetVCC(1) }) != 2 {
 		t.Error("vccnz branch not taken with nonzero VCC")
 	}
-	if run(isa.OpCBranchExecZ, func(w *Warp) { w.Exec = 0 }) != 2 {
+	if run(isa.OpCBranchExecZ, func(w *Warp) { w.SetExec(0) }) != 2 {
 		t.Error("execz branch not taken with zero EXEC")
 	}
 	if run(isa.OpCBranchExecNZ, nil) != 2 {

@@ -23,23 +23,42 @@ type WarpState struct {
 }
 
 // Snapshot deep-copies the warp's architectural state. The pooled runtime
-// recycles Warp objects the moment they retire, so any observer that wants
+// recycles warp slots the moment they retire, so any observer that wants
 // final state must copy it during the retirement callback — this is that
 // copy.
 func (w *Warp) Snapshot() WarpState {
-	s := WarpState{
-		GlobalID:  w.GlobalID,
-		PC:        w.PC,
-		SCC:       w.SCC,
-		Exec:      w.Exec,
-		VCC:       w.VCC,
-		Masks:     w.masks,
-		InstCount: w.InstCount,
-	}
-	s.SGPR = append(s.SGPR, w.sgpr...)
-	s.VGPR = append(s.VGPR, w.vgpr...)
-	s.BBCounts = append(s.BBCounts, w.BBCounts...)
+	var s WarpState
+	w.SnapshotInto(&s)
 	return s
+}
+
+// SnapshotInto deep-copies the warp's architectural state into dst, reusing
+// dst's register and BBV slices when their capacity suffices. Callers that
+// snapshot every retired warp (the verify auditor) recycle one WarpState
+// per warp ID this way instead of allocating three slices per retirement.
+func (w *Warp) SnapshotInto(dst *WarpState) {
+	st, slot := w.store, w.slot
+	dst.GlobalID = w.GlobalID
+	dst.PC = int(st.pc[slot])
+	dst.SCC = st.scc(slot)
+	dst.Exec = st.exec[slot]
+	dst.VCC = st.vcc[slot]
+	copy(dst.Masks[:], st.masks[slot*maskSlots:(slot+1)*maskSlots])
+	dst.InstCount = st.instCount[slot]
+	dst.SGPR = copyInto(dst.SGPR, st.sgpr[slot*st.sregs:(slot+1)*st.sregs])
+	dst.VGPR = copyInto(dst.VGPR, st.vgpr[slot*st.vwords:(slot+1)*st.vwords])
+	dst.BBCounts = copyInto(dst.BBCounts, st.bb[slot*st.blocks:(slot+1)*st.blocks])
+}
+
+// copyInto copies src into dst, reusing dst's backing array when it is
+// large enough.
+func copyInto(dst, src []uint32) []uint32 {
+	if cap(dst) < len(src) {
+		dst = make([]uint32, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
 }
 
 // Diff describes every field where s and o disagree, one difference per

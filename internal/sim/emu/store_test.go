@@ -1,0 +1,205 @@
+package emu
+
+import (
+	"testing"
+
+	"photon/internal/testutil"
+)
+
+// TestSnapshotIntoZeroAlloc pins the verify auditor's capture path: once a
+// WarpState has been sized for a warp, re-snapshotting into it must not
+// allocate (Snapshot allocated three slices per retired warp).
+func TestSnapshotIntoZeroAlloc(t *testing.T) {
+	l, _, _, _ := vecAddLaunch(t, 2*64, 2)
+	w := NewWarp(l, 0, nil)
+	var info StepInfo
+	for !w.Done() {
+		w.Step(&info)
+	}
+	var st WarpState
+	w.SnapshotInto(&st) // size the buffers
+	testutil.MustZeroAllocs(t, "emu.Warp.SnapshotInto", func() {
+		w.SnapshotInto(&st)
+	})
+	if d := st.Diff(ptr(w.Snapshot())); d != "" {
+		t.Fatalf("SnapshotInto disagrees with Snapshot:\n%s", d)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// TestWarpStoreSlotRecycling checks that a slot released after warp
+// retirement comes back through Alloc with pristine dispatch state: the new
+// occupant must be indistinguishable from a warp bound to a never-used slot.
+func TestWarpStoreSlotRecycling(t *testing.T) {
+	l, _, _, _ := vecAddLaunch(t, 3*64, 3)
+	s := NewWarpStore(l, 2)
+	if s.Slots() != 2 || s.FreeSlots() != 2 {
+		t.Fatalf("fresh store: %d slots, %d free; want 2, 2", s.Slots(), s.FreeSlots())
+	}
+
+	slot := s.Alloc()
+	w := s.Bind(slot, 0, nil)
+	var info StepInfo
+	for !w.Done() {
+		w.Step(&info)
+	}
+	s.Release(slot)
+	if s.FreeSlots() != 2 {
+		t.Fatalf("after release: %d free slots, want 2", s.FreeSlots())
+	}
+
+	// LIFO reuse: the recycled slot is handed out first and must carry no
+	// trace of its previous occupant.
+	got := s.Alloc()
+	if got != slot {
+		t.Fatalf("Alloc after Release = slot %d, want recycled slot %d", got, slot)
+	}
+	w2 := s.Bind(got, 1, nil)
+	if w2.PC() != 0 || w2.Done() || w2.AtBarrier() || w2.InstCount() != 0 {
+		t.Fatalf("recycled slot not reset: pc=%d done=%v barrier=%v insts=%d",
+			w2.PC(), w2.Done(), w2.AtBarrier(), w2.InstCount())
+	}
+	for i, c := range w2.BBCounts() {
+		if c != 0 {
+			t.Fatalf("recycled slot BBCounts[%d] = %d, want 0", i, c)
+		}
+	}
+	if w2.SReg(0) != 1 || w2.SReg(1) != 0 || w2.SReg(2) != 1 || w2.SReg(3) != 1 {
+		t.Fatalf("dispatch conventions wrong on recycled slot: s0..s3 = %d %d %d %d",
+			w2.SReg(0), w2.SReg(1), w2.SReg(2), w2.SReg(3))
+	}
+	for !w2.Done() {
+		w2.Step(&info)
+	}
+	ref := NewWarp(l, 1, nil)
+	for !ref.Done() {
+		ref.Step(&info)
+	}
+	if d := ptr(w2.Snapshot()).Diff(ptr(ref.Snapshot())); d != "" {
+		t.Fatalf("recycled-slot warp diverged from fresh warp:\n%s", d)
+	}
+}
+
+// TestWarpStoreGrowthMidLaunch checks that Alloc-triggered slab growth
+// preserves the state of warps already in flight: a warp stepped halfway,
+// surviving a grow, must finish exactly like an ungrown one.
+func TestWarpStoreGrowthMidLaunch(t *testing.T) {
+	l, _, _, _ := vecAddLaunch(t, 3*64, 3)
+	s := NewWarpStore(l, 1)
+	w0 := s.Bind(s.Alloc(), 0, nil)
+	var info StepInfo
+	for i := 0; i < 5; i++ { // leave warp 0 mid-flight
+		w0.Step(&info)
+	}
+	midPC := w0.PC()
+
+	slot1 := s.Alloc() // free list is empty: this grows the slabs
+	if s.Slots() <= 1 {
+		t.Fatalf("store did not grow: %d slots", s.Slots())
+	}
+	if w0.PC() != midPC || w0.InstCount() != 5 {
+		t.Fatalf("growth disturbed in-flight warp: pc=%d insts=%d", w0.PC(), w0.InstCount())
+	}
+
+	w1 := s.Bind(slot1, 1, nil)
+	for !w0.Done() {
+		w0.Step(&info)
+	}
+	for !w1.Done() {
+		w1.Step(&info)
+	}
+	for id, w := range map[int]Warp{0: w0, 1: w1} {
+		// Fresh launch state so the reference run replays the same memory.
+		rl, _, _, _ := vecAddLaunch(t, 3*64, 3)
+		ref := NewWarp(rl, id, nil)
+		for !ref.Done() {
+			ref.Step(&info)
+		}
+		if d := ptr(w.Snapshot()).Diff(ptr(ref.Snapshot())); d != "" {
+			t.Fatalf("warp %d diverged across mid-launch growth:\n%s", id, d)
+		}
+	}
+}
+
+// TestWarpStoreBytesPerWarp sanity-checks the byte budget the bench report
+// and README document.
+func TestWarpStoreBytesPerWarp(t *testing.T) {
+	l, _, _, _ := vecAddLaunch(t, 64, 1)
+	s := NewWarpStore(l, 8)
+	want := WarpBytes(l)
+	if got := s.BytesPerWarp(); got != want {
+		t.Fatalf("BytesPerWarp = %d, WarpBytes = %d; must agree", got, want)
+	}
+	if want <= 0 {
+		t.Fatalf("WarpBytes = %d, want positive", want)
+	}
+	// Slabs must account for at least slots×bytes-per-warp (the free list
+	// and shared address buffer come on top).
+	if got := s.ResidentBytes(); got < 8*want {
+		t.Fatalf("ResidentBytes = %d < slots*BytesPerWarp = %d", got, 8*want)
+	}
+}
+
+// TestReplayerMatchesGroupLoop checks the batched fast-forward path against
+// the one-workgroup-at-a-time Group loop: same instruction totals, same
+// per-warp final state, same memory image.
+func TestReplayerMatchesGroupLoop(t *testing.T) {
+	const n, groups = 6 * 64, 6
+	lr, _, _, outR := vecAddLaunch(t, n, groups)
+	lg, _, _, outG := vecAddLaunch(t, n, groups)
+
+	rep := NewReplayer(lr, 2) // force multiple passes
+	var repInsts uint64
+	repStates := make(map[int]WarpState)
+	err := rep.RunRange(0, lr.NumWorkgroups, func(_ int, warps []Warp) {
+		for i := range warps {
+			repInsts += warps[i].InstCount()
+			repStates[warps[i].GlobalID] = warps[i].Snapshot()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var grpInsts uint64
+	var grp Group
+	for wg := 0; wg < lg.NumWorkgroups; wg++ {
+		grp.Reset(lg, wg)
+		if err := grp.RunFunctional(); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range grp.Warps {
+			grpInsts += w.InstCount()
+			st := repStates[w.GlobalID]
+			if d := ptr(w.Snapshot()).Diff(&st); d != "" {
+				t.Fatalf("warp %d: replayer vs group loop:\n%s", w.GlobalID, d)
+			}
+		}
+	}
+	if repInsts != grpInsts {
+		t.Fatalf("instruction totals differ: replayer %d, group loop %d", repInsts, grpInsts)
+	}
+	for i := 0; i < n; i++ {
+		a := lr.Memory.Read32(outR + uint64(4*i))
+		b := lg.Memory.Read32(outG + uint64(4*i))
+		if a != b {
+			t.Fatalf("memory image differs at word %d: %#x vs %#x", i, a, b)
+		}
+	}
+}
+
+// TestReplayBatchGroups pins the batch-sizing clamps.
+func TestReplayBatchGroups(t *testing.T) {
+	l, _, _, _ := vecAddLaunch(t, 4*64, 4)
+	if got := ReplayBatchGroups(l, 1); got != 1 {
+		t.Fatalf("tiny budget: batch = %d, want 1", got)
+	}
+	if got := ReplayBatchGroups(l, 1<<30); got != l.NumWorkgroups {
+		t.Fatalf("huge budget: batch = %d, want %d", got, l.NumWorkgroups)
+	}
+	per := WarpBytes(l) * l.WarpsPerGroup
+	if got := ReplayBatchGroups(l, 3*per); got != 3 {
+		t.Fatalf("3-group budget: batch = %d, want 3", got)
+	}
+}

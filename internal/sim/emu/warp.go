@@ -4,6 +4,9 @@
 // time in detailed mode; fast-forward (sampled) modes run it in a tight loop
 // with no timing at all — the speed gap between those two paths is exactly
 // what sampled simulation exploits.
+//
+// Warp state lives in a structure-of-arrays WarpStore; a Warp is a thin
+// slot handle into one, so batch execution sweeps contiguous slabs.
 package emu
 
 import (
@@ -29,8 +32,8 @@ const (
 )
 
 // StepInfo reports the side effects of executing one instruction, for the
-// timing model's consumption. Addrs aliases an internal buffer and is only
-// valid until the next Step call.
+// timing model's consumption. Addrs aliases the warp's store-shared scratch
+// buffer and is only valid until the next Step on any warp of that store.
 type StepInfo struct {
 	Kind     StepKind
 	Inst     *isa.Inst
@@ -41,96 +44,101 @@ type StepInfo struct {
 	BlockIdx int      // static basic-block index containing the instruction
 }
 
-// Warp is the architectural state of one wavefront.
+// Warp is a handle to one wavefront's architectural state: a slot in a
+// WarpStore plus the identity fields that never change over the warp's
+// lifetime. Handles are small values; copy them freely, but note that
+// copies share the underlying slot.
 type Warp struct {
 	Launch    *kernel.Launch
 	GlobalID  int
 	GroupID   int
 	IDInGroup int
 
-	PC   int
-	SCC  bool
-	Exec uint64
-	VCC  uint64
-
-	sgpr  []uint32
-	vgpr  []uint32 // [reg*64 + lane]
-	masks [8]uint64
+	store *WarpStore
+	slot  int
 	lds   []byte // shared with the other warps of the workgroup
-
-	Done      bool
-	AtBarrier bool
-
-	// InstCount is the number of dynamic instructions executed.
-	InstCount uint64
-	// BBCounts[i] counts entries into static basic block i; it is the
-	// warp's Basic Block Vector (BBV).
-	BBCounts []uint32
-	// outstandingMem counts vector-memory ops issued since the last
-	// waitcnt; purely informational for the functional model.
-	outstandingMem int
-
-	addrBuf [kernel.WavefrontSize]uint64
 }
 
-// NewWarp creates warp warpID of the launch. lds is the workgroup's
-// local-data-share backing store, shared between sibling warps.
+// NewWarp creates warp warpID of the launch, backed by a private
+// single-slot store. lds is the workgroup's local-data-share backing,
+// shared between sibling warps. The batch paths (Group, Replayer, the
+// timing machine) bind warps into shared stores instead.
 func NewWarp(l *kernel.Launch, globalID int, lds []byte) *Warp {
 	w := &Warp{}
 	w.Reset(l, globalID, lds)
 	return w
 }
 
-// Reset reinitializes the warp for a new dispatch, reusing its register
-// backing stores when they are large enough. The pooled simulation paths
-// recycle retired warps through it so steady-state dispatch does not
-// allocate. After Reset the warp is indistinguishable from a NewWarp result.
+// Reset reinitializes a standalone warp for a new dispatch, reusing its
+// private store's slabs when they are large enough. After Reset the warp is
+// indistinguishable from a NewWarp result. Warps bound into a shared store
+// are rebound through WarpStore.Bind instead.
 func (w *Warp) Reset(l *kernel.Launch, globalID int, lds []byte) {
-	p := l.Program
-	w.Launch = l
-	w.GlobalID = globalID
-	w.GroupID = globalID / l.WarpsPerGroup
-	w.IDInGroup = globalID % l.WarpsPerGroup
-	w.PC = 0
-	w.SCC = false
-	w.Exec = ^uint64(0)
-	w.VCC = 0
-	w.masks = [8]uint64{}
-	w.lds = lds
-	w.Done = false
-	w.AtBarrier = false
-	w.InstCount = 0
-	w.outstandingMem = 0
-	w.sgpr = resetU32(w.sgpr, max(p.NumSRegs, kernel.ArgSGPRBase+len(l.Args)))
-	w.vgpr = resetU32(w.vgpr, p.NumVRegs*kernel.WavefrontSize)
-	w.BBCounts = resetU32(w.BBCounts, p.NumBlocks())
-	// Dispatch conventions: s0=workgroup ID, s1=warp ID within group,
-	// s2=global warp ID, s3=warps per group; kernel args from s8. v0=lane.
-	w.sgpr[0] = uint32(w.GroupID)
-	w.sgpr[1] = uint32(w.IDInGroup)
-	w.sgpr[2] = uint32(w.GlobalID)
-	w.sgpr[3] = uint32(l.WarpsPerGroup)
-	copy(w.sgpr[kernel.ArgSGPRBase:], l.Args)
-	if p.NumVRegs > 0 {
-		for lane := 0; lane < kernel.WavefrontSize; lane++ {
-			w.vgpr[lane] = uint32(lane)
-		}
+	if w.store == nil {
+		w.store = &WarpStore{}
 	}
+	w.store.Configure(l, 1)
+	*w = w.store.Bind(0, globalID, lds)
 }
 
-// resetU32 returns a zeroed uint32 slice of length n, reusing s's backing
-// array when it is large enough.
-func resetU32(s []uint32, n int) []uint32 {
-	if cap(s) < n {
-		return make([]uint32, n)
-	}
-	s = s[:n]
-	clear(s)
-	return s
+// Slot returns the warp's slot index in its store; the timing machine uses
+// it to release slots at workgroup retirement.
+func (w *Warp) Slot() int { return w.slot }
+
+// PC returns the warp's program counter.
+func (w *Warp) PC() int { return int(w.store.pc[w.slot]) }
+
+// SCC returns the scalar condition code.
+func (w *Warp) SCC() bool { return w.store.scc(w.slot) }
+
+// SetSCC sets the scalar condition code (tests use it).
+func (w *Warp) SetSCC(v bool) { w.store.setSCC(w.slot, v) }
+
+// Exec returns the EXEC lane mask.
+func (w *Warp) Exec() uint64 { return w.store.exec[w.slot] }
+
+// SetExec sets the EXEC lane mask (tests use it).
+func (w *Warp) SetExec(v uint64) { w.store.exec[w.slot] = v }
+
+// VCC returns the vector condition code mask.
+func (w *Warp) VCC() uint64 { return w.store.vcc[w.slot] }
+
+// SetVCC sets the vector condition code mask (tests use it).
+func (w *Warp) SetVCC(v uint64) { w.store.vcc[w.slot] = v }
+
+// Done reports whether the warp executed s_endpgm.
+func (w *Warp) Done() bool { return w.store.flags[w.slot]&flagDone != 0 }
+
+// AtBarrier reports whether the warp is waiting at s_barrier.
+func (w *Warp) AtBarrier() bool { return w.store.flags[w.slot]&flagBarrier != 0 }
+
+// ClearBarrier resumes a warp waiting at s_barrier; the group runtimes call
+// it once every live sibling has arrived.
+func (w *Warp) ClearBarrier() { w.store.flags[w.slot] &^= flagBarrier }
+
+// InstCount returns the number of dynamic instructions executed.
+func (w *Warp) InstCount() uint64 { return w.store.instCount[w.slot] }
+
+// BBCounts returns the warp's Basic Block Vector: entry counts per static
+// basic block. The slice aliases the store's slab; it is valid until the
+// slot is released or rebound.
+func (w *Warp) BBCounts() []uint32 {
+	s := w.store
+	return s.bb[w.slot*s.blocks : (w.slot+1)*s.blocks]
+}
+
+func (w *Warp) sregs() []uint32 {
+	s := w.store
+	return s.sgpr[w.slot*s.sregs : (w.slot+1)*s.sregs]
+}
+
+func (w *Warp) vregs() []uint32 {
+	s := w.store
+	return s.vgpr[w.slot*s.vwords : (w.slot+1)*s.vwords]
 }
 
 // ActiveLanes returns the number of lanes enabled in EXEC.
-func (w *Warp) ActiveLanes() int { return popcount(w.Exec) }
+func (w *Warp) ActiveLanes() int { return popcount(w.Exec()) }
 
 func popcount(x uint64) int {
 	n := 0
@@ -141,110 +149,133 @@ func popcount(x uint64) int {
 	return n
 }
 
-func (w *Warp) sread(o isa.Operand) uint32 {
+// sread reads a scalar source from the hoisted SGPR window.
+func (w *Warp) sread(sgpr []uint32, o isa.Operand) uint32 {
 	switch o.Kind {
 	case isa.OperandSReg:
-		return w.sgpr[o.Idx]
+		return sgpr[o.Idx]
 	case isa.OperandImm:
 		return uint32(o.Imm)
-	default:
-		panic(fmt.Sprintf("emu: %s: bad scalar operand kind %d", w.Launch.Name, o.Kind))
 	}
+	return badOperand(w.Launch.Name, "scalar", o.Kind)
 }
 
-// vread reads a per-lane source: vector registers per lane, scalar registers
-// and immediates broadcast.
-func (w *Warp) vread(o isa.Operand, lane int) uint32 {
+//go:noinline
+func badOperand(name, class string, k isa.OperandKind) uint32 {
+	panic(fmt.Sprintf("emu: %s: bad %s operand kind %d", name, class, k))
+}
+
+// vsrc resolves a vector-instruction source once per instruction rather than
+// once per lane: a VReg source yields its wavefront-sized lane window,
+// scalar registers and immediates a broadcast value. Sources an op does not
+// declare (OperandNone) are never read and resolve to a zero broadcast.
+func vsrc(sgpr, vgpr []uint32, o isa.Operand) (lanes []uint32, bcast uint32) {
 	switch o.Kind {
 	case isa.OperandVReg:
-		return w.vgpr[int(o.Idx)*kernel.WavefrontSize+lane]
+		base := int(o.Idx) * kernel.WavefrontSize
+		return vgpr[base : base+kernel.WavefrontSize], 0
 	case isa.OperandSReg:
-		return w.sgpr[o.Idx]
+		return nil, sgpr[o.Idx]
 	case isa.OperandImm:
-		return uint32(o.Imm)
-	default:
-		panic(fmt.Sprintf("emu: %s: bad vector operand kind %d", w.Launch.Name, o.Kind))
+		return nil, uint32(o.Imm)
 	}
+	return nil, 0
 }
 
-func (w *Warp) vwrite(o isa.Operand, lane int, v uint32) {
-	w.vgpr[int(o.Idx)*kernel.WavefrontSize+lane] = v
+// lv reads one lane of a source resolved by vsrc.
+func lv(lanes []uint32, bcast uint32, lane int) uint32 {
+	if lanes != nil {
+		return lanes[lane]
+	}
+	return bcast
+}
+
+// vdst returns the destination register's lane window.
+func vdst(vgpr []uint32, o isa.Operand) []uint32 {
+	base := int(o.Idx) * kernel.WavefrontSize
+	return vgpr[base : base+kernel.WavefrontSize]
 }
 
 // SReg returns scalar register i (for tests and debugging).
-func (w *Warp) SReg(i int) uint32 { return w.sgpr[i] }
+func (w *Warp) SReg(i int) uint32 { return w.sregs()[i] }
 
 // VReg returns vector register i of the given lane (for tests).
-func (w *Warp) VReg(i, lane int) uint32 { return w.vgpr[i*kernel.WavefrontSize+lane] }
+func (w *Warp) VReg(i, lane int) uint32 { return w.vregs()[i*kernel.WavefrontSize+lane] }
 
 func f32(bits uint32) float32 { return math.Float32frombits(bits) }
 func bits32(f float32) uint32 { return math.Float32bits(f) }
 func sext(v uint32) int32     { return int32(v) }
 
 // Step executes the instruction at PC and advances the warp. It must not be
-// called on a Done warp; callers resume barriers by clearing AtBarrier.
+// called on a Done warp; callers resume barriers by ClearBarrier. The SGPR
+// and VGPR windows are hoisted once per instruction so the hot loop indexes
+// flat slices instead of re-slicing the slabs per operand.
 func (w *Warp) Step(info *StepInfo) {
-	if w.Done {
+	st := w.store
+	slot := w.slot
+	if st.flags[slot]&flagDone != 0 {
 		panic(fmt.Sprintf("emu: %s warp %d stepped after s_endpgm", w.Launch.Name, w.GlobalID))
 	}
 	p := w.Launch.Program
-	in := &p.Insts[w.PC]
-	*info = StepInfo{Kind: StepALU, Inst: in, BlockIdx: p.BlockIndexAt(w.PC)}
-	if p.BlockStartsAt(w.PC) {
+	pc := int(st.pc[slot])
+	in := &p.Insts[pc]
+	*info = StepInfo{Kind: StepALU, Inst: in, BlockIdx: p.BlockIndexAt(pc)}
+	if p.BlockStartsAt(pc) {
 		info.EnteredB = true
-		w.BBCounts[info.BlockIdx]++
+		st.bb[slot*st.blocks+info.BlockIdx]++
 	}
-	w.InstCount++
-	nextPC := w.PC + 1
+	st.instCount[slot]++
+	nextPC := pc + 1
+	sgpr := st.sgpr[slot*st.sregs : (slot+1)*st.sregs]
 
 	switch in.Op {
 	// ---- scalar ALU ----
 	case isa.OpSMov:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0)
 	case isa.OpSAdd:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) + w.sread(in.Src1)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) + w.sread(sgpr, in.Src1)
 	case isa.OpSSub:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) - w.sread(in.Src1)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) - w.sread(sgpr, in.Src1)
 	case isa.OpSMul:
-		w.sgpr[in.Dst.Idx] = uint32(sext(w.sread(in.Src0)) * sext(w.sread(in.Src1)))
+		sgpr[in.Dst.Idx] = uint32(sext(w.sread(sgpr, in.Src0)) * sext(w.sread(sgpr, in.Src1)))
 	case isa.OpSLShl:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) << (w.sread(in.Src1) & 31)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) << (w.sread(sgpr, in.Src1) & 31)
 	case isa.OpSLShr:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) >> (w.sread(in.Src1) & 31)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) >> (w.sread(sgpr, in.Src1) & 31)
 	case isa.OpSAnd:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) & w.sread(in.Src1)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) & w.sread(sgpr, in.Src1)
 	case isa.OpSOr:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) | w.sread(in.Src1)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) | w.sread(sgpr, in.Src1)
 	case isa.OpSXor:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) ^ w.sread(in.Src1)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) ^ w.sread(sgpr, in.Src1)
 	case isa.OpSMin:
-		a, b := sext(w.sread(in.Src0)), sext(w.sread(in.Src1))
+		a, b := sext(w.sread(sgpr, in.Src0)), sext(w.sread(sgpr, in.Src1))
 		if b < a {
 			a = b
 		}
-		w.sgpr[in.Dst.Idx] = uint32(a)
+		sgpr[in.Dst.Idx] = uint32(a)
 	case isa.OpSMax:
-		a, b := sext(w.sread(in.Src0)), sext(w.sread(in.Src1))
+		a, b := sext(w.sread(sgpr, in.Src0)), sext(w.sread(sgpr, in.Src1))
 		if b > a {
 			a = b
 		}
-		w.sgpr[in.Dst.Idx] = uint32(a)
+		sgpr[in.Dst.Idx] = uint32(a)
 	case isa.OpSDiv:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) / w.sread(in.Src1)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) / w.sread(sgpr, in.Src1)
 	case isa.OpSMod:
-		w.sgpr[in.Dst.Idx] = w.sread(in.Src0) % w.sread(in.Src1)
+		sgpr[in.Dst.Idx] = w.sread(sgpr, in.Src0) % w.sread(sgpr, in.Src1)
 	case isa.OpSCmpLt:
-		w.SCC = sext(w.sread(in.Src0)) < sext(w.sread(in.Src1))
+		st.setSCC(slot, sext(w.sread(sgpr, in.Src0)) < sext(w.sread(sgpr, in.Src1)))
 	case isa.OpSCmpLe:
-		w.SCC = sext(w.sread(in.Src0)) <= sext(w.sread(in.Src1))
+		st.setSCC(slot, sext(w.sread(sgpr, in.Src0)) <= sext(w.sread(sgpr, in.Src1)))
 	case isa.OpSCmpEq:
-		w.SCC = w.sread(in.Src0) == w.sread(in.Src1)
+		st.setSCC(slot, w.sread(sgpr, in.Src0) == w.sread(sgpr, in.Src1))
 	case isa.OpSCmpNe:
-		w.SCC = w.sread(in.Src0) != w.sread(in.Src1)
+		st.setSCC(slot, w.sread(sgpr, in.Src0) != w.sread(sgpr, in.Src1))
 	case isa.OpSCmpGt:
-		w.SCC = sext(w.sread(in.Src0)) > sext(w.sread(in.Src1))
+		st.setSCC(slot, sext(w.sread(sgpr, in.Src0)) > sext(w.sread(sgpr, in.Src1)))
 	case isa.OpSCmpGe:
-		w.SCC = sext(w.sread(in.Src0)) >= sext(w.sread(in.Src1))
+		st.setSCC(slot, sext(w.sread(sgpr, in.Src0)) >= sext(w.sread(sgpr, in.Src1)))
 
 	// ---- vector ALU ----
 	case isa.OpVMov, isa.OpVAdd, isa.OpVSub, isa.OpVMul, isa.OpVMad,
@@ -253,228 +284,258 @@ func (w *Warp) Step(info *StepInfo) {
 		isa.OpVFAdd, isa.OpVFSub, isa.OpVFMul, isa.OpVFFma, isa.OpVFMin,
 		isa.OpVFMax, isa.OpVFRcp, isa.OpVFSqrt, isa.OpVFExp, isa.OpVFAbs,
 		isa.OpVCvtI2F, isa.OpVCvtF2I:
-		w.vectorALU(in)
+		w.vectorALU(in, sgpr)
 
 	// ---- vector compares ----
 	case isa.OpVCmpLt, isa.OpVCmpLe, isa.OpVCmpEq, isa.OpVCmpNe,
 		isa.OpVCmpGt, isa.OpVCmpGe, isa.OpVFCmpLt, isa.OpVFCmpGt:
-		w.vectorCmp(in)
+		w.vectorCmp(in, sgpr)
 
 	// ---- exec mask ----
 	case isa.OpSAndSaveExec:
-		w.masks[in.Dst.Idx] = w.Exec
-		w.Exec &= w.VCC
+		st.masks[slot*maskSlots+int(in.Dst.Idx)] = st.exec[slot]
+		st.exec[slot] &= st.vcc[slot]
 	case isa.OpSAndNotExec:
-		w.Exec = w.masks[in.Src0.Idx] &^ w.VCC
+		st.exec[slot] = st.masks[slot*maskSlots+int(in.Src0.Idx)] &^ st.vcc[slot]
 	case isa.OpSSetExec:
-		w.Exec = w.masks[in.Src0.Idx]
+		st.exec[slot] = st.masks[slot*maskSlots+int(in.Src0.Idx)]
 	case isa.OpSMovExecAll:
-		w.Exec = ^uint64(0)
+		st.exec[slot] = ^uint64(0)
 
 	// ---- memory ----
 	case isa.OpSLoad:
-		addr := uint64(w.sread(in.Src0)) + uint64(int64(in.Offset))
-		w.sgpr[in.Dst.Idx] = w.Launch.Memory.Read32(addr)
+		addr := uint64(w.sread(sgpr, in.Src0)) + uint64(int64(in.Offset))
+		sgpr[in.Dst.Idx] = w.Launch.Memory.Read32(addr)
 		info.Kind = StepScalarMem
 		info.SAddr = addr
 	case isa.OpVLoad:
-		w.vectorMem(in, info, false)
+		w.vectorMem(in, info, sgpr, false)
 	case isa.OpVStore:
-		w.vectorMem(in, info, true)
+		w.vectorMem(in, info, sgpr, true)
 	case isa.OpVAtomicAdd, isa.OpVAtomicMax, isa.OpVAtomicMin, isa.OpVAtomicFAdd:
-		w.atomicMem(in, info)
+		w.atomicMem(in, info, sgpr)
 	case isa.OpLDSLoad:
-		w.ldsAccess(in, info, false)
+		w.ldsAccess(in, info, sgpr, false)
 	case isa.OpLDSStore:
-		w.ldsAccess(in, info, true)
+		w.ldsAccess(in, info, sgpr, true)
 
 	// ---- control ----
 	case isa.OpSBranch:
 		nextPC = in.Target
 	case isa.OpCBranchSCC0:
-		if !w.SCC {
+		if !st.scc(slot) {
 			nextPC = in.Target
 		}
 	case isa.OpCBranchSCC1:
-		if w.SCC {
+		if st.scc(slot) {
 			nextPC = in.Target
 		}
 	case isa.OpCBranchVCCZ:
-		if w.VCC == 0 {
+		if st.vcc[slot] == 0 {
 			nextPC = in.Target
 		}
 	case isa.OpCBranchVCCNZ:
-		if w.VCC != 0 {
+		if st.vcc[slot] != 0 {
 			nextPC = in.Target
 		}
 	case isa.OpCBranchExecZ:
-		if w.Exec == 0 {
+		if st.exec[slot] == 0 {
 			nextPC = in.Target
 		}
 	case isa.OpCBranchExecNZ:
-		if w.Exec != 0 {
+		if st.exec[slot] != 0 {
 			nextPC = in.Target
 		}
 	case isa.OpSBarrier:
-		w.AtBarrier = true
+		st.flags[slot] |= flagBarrier
 		info.Kind = StepBarrier
 	case isa.OpSWaitcnt:
-		w.outstandingMem = 0
+		st.outMem[slot] = 0
 		info.Kind = StepWaitcnt
 	case isa.OpSNop:
 		// nothing
 	case isa.OpSEndpgm:
-		w.Done = true
+		st.flags[slot] |= flagDone
 		info.Kind = StepDone
 	default:
 		panic(fmt.Sprintf("emu: %s: unimplemented op %s", w.Launch.Name, in.Op))
 	}
 
-	w.PC = nextPC
+	st.pc[slot] = int32(nextPC)
 }
 
-func (w *Warp) vectorALU(in *isa.Inst) {
+func (w *Warp) vectorALU(in *isa.Inst, sgpr []uint32) {
+	vgpr := w.vregs()
+	exec := w.store.exec[w.slot]
+	l0, b0 := vsrc(sgpr, vgpr, in.Src0)
+	l1, b1 := vsrc(sgpr, vgpr, in.Src1)
+	l2, b2 := vsrc(sgpr, vgpr, in.Src2)
+	dst := vdst(vgpr, in.Dst)
 	for lane := 0; lane < kernel.WavefrontSize; lane++ {
-		if w.Exec&(1<<uint(lane)) == 0 {
+		if exec&(1<<uint(lane)) == 0 {
 			continue
 		}
+		a, b := lv(l0, b0, lane), lv(l1, b1, lane)
 		var r uint32
 		switch in.Op {
 		case isa.OpVMov:
-			r = w.vread(in.Src0, lane)
+			r = a
 		case isa.OpVAdd:
-			r = w.vread(in.Src0, lane) + w.vread(in.Src1, lane)
+			r = a + b
 		case isa.OpVSub:
-			r = w.vread(in.Src0, lane) - w.vread(in.Src1, lane)
+			r = a - b
 		case isa.OpVMul:
-			r = uint32(sext(w.vread(in.Src0, lane)) * sext(w.vread(in.Src1, lane)))
+			r = uint32(sext(a) * sext(b))
 		case isa.OpVMad:
-			r = uint32(sext(w.vread(in.Src0, lane))*sext(w.vread(in.Src1, lane))) + w.vread(in.Src2, lane)
+			r = uint32(sext(a)*sext(b)) + lv(l2, b2, lane)
 		case isa.OpVLShl:
-			r = w.vread(in.Src0, lane) << (w.vread(in.Src1, lane) & 31)
+			r = a << (b & 31)
 		case isa.OpVLShr:
-			r = w.vread(in.Src0, lane) >> (w.vread(in.Src1, lane) & 31)
+			r = a >> (b & 31)
 		case isa.OpVAnd:
-			r = w.vread(in.Src0, lane) & w.vread(in.Src1, lane)
+			r = a & b
 		case isa.OpVOr:
-			r = w.vread(in.Src0, lane) | w.vread(in.Src1, lane)
+			r = a | b
 		case isa.OpVXor:
-			r = w.vread(in.Src0, lane) ^ w.vread(in.Src1, lane)
+			r = a ^ b
 		case isa.OpVMin:
-			a, b := sext(w.vread(in.Src0, lane)), sext(w.vread(in.Src1, lane))
-			if b < a {
-				a = b
+			x, y := sext(a), sext(b)
+			if y < x {
+				x = y
 			}
-			r = uint32(a)
+			r = uint32(x)
 		case isa.OpVMax:
-			a, b := sext(w.vread(in.Src0, lane)), sext(w.vread(in.Src1, lane))
-			if b > a {
-				a = b
+			x, y := sext(a), sext(b)
+			if y > x {
+				x = y
 			}
-			r = uint32(a)
+			r = uint32(x)
 		case isa.OpVDiv:
-			r = w.vread(in.Src0, lane) / w.vread(in.Src1, lane)
+			r = a / b
 		case isa.OpVMod:
-			r = w.vread(in.Src0, lane) % w.vread(in.Src1, lane)
+			r = a % b
 		case isa.OpVFAdd:
-			r = bits32(f32(w.vread(in.Src0, lane)) + f32(w.vread(in.Src1, lane)))
+			r = bits32(f32(a) + f32(b))
 		case isa.OpVFSub:
-			r = bits32(f32(w.vread(in.Src0, lane)) - f32(w.vread(in.Src1, lane)))
+			r = bits32(f32(a) - f32(b))
 		case isa.OpVFMul:
-			r = bits32(f32(w.vread(in.Src0, lane)) * f32(w.vread(in.Src1, lane)))
+			r = bits32(f32(a) * f32(b))
 		case isa.OpVFFma:
-			r = bits32(f32(w.vread(in.Src0, lane))*f32(w.vread(in.Src1, lane)) + f32(w.vread(in.Src2, lane)))
+			r = bits32(f32(a)*f32(b) + f32(lv(l2, b2, lane)))
 		case isa.OpVFMin:
-			r = bits32(float32(math.Min(float64(f32(w.vread(in.Src0, lane))), float64(f32(w.vread(in.Src1, lane))))))
+			r = bits32(float32(math.Min(float64(f32(a)), float64(f32(b)))))
 		case isa.OpVFMax:
-			r = bits32(float32(math.Max(float64(f32(w.vread(in.Src0, lane))), float64(f32(w.vread(in.Src1, lane))))))
+			r = bits32(float32(math.Max(float64(f32(a)), float64(f32(b)))))
 		case isa.OpVFRcp:
-			r = bits32(1 / f32(w.vread(in.Src0, lane)))
+			r = bits32(1 / f32(a))
 		case isa.OpVFSqrt:
-			r = bits32(float32(math.Sqrt(float64(f32(w.vread(in.Src0, lane))))))
+			r = bits32(float32(math.Sqrt(float64(f32(a)))))
 		case isa.OpVFExp:
-			r = bits32(float32(math.Exp(float64(f32(w.vread(in.Src0, lane))))))
+			r = bits32(float32(math.Exp(float64(f32(a)))))
 		case isa.OpVFAbs:
-			r = bits32(float32(math.Abs(float64(f32(w.vread(in.Src0, lane))))))
+			r = bits32(float32(math.Abs(float64(f32(a)))))
 		case isa.OpVCvtI2F:
-			r = bits32(float32(sext(w.vread(in.Src0, lane))))
+			r = bits32(float32(sext(a)))
 		case isa.OpVCvtF2I:
-			r = uint32(int32(f32(w.vread(in.Src0, lane))))
+			r = uint32(int32(f32(a)))
 		}
-		w.vwrite(in.Dst, lane, r)
+		dst[lane] = r
 	}
 }
 
-func (w *Warp) vectorCmp(in *isa.Inst) {
+func (w *Warp) vectorCmp(in *isa.Inst, sgpr []uint32) {
+	vgpr := w.vregs()
+	exec := w.store.exec[w.slot]
+	l0, b0 := vsrc(sgpr, vgpr, in.Src0)
+	l1, b1 := vsrc(sgpr, vgpr, in.Src1)
 	var vcc uint64
 	for lane := 0; lane < kernel.WavefrontSize; lane++ {
-		if w.Exec&(1<<uint(lane)) == 0 {
+		if exec&(1<<uint(lane)) == 0 {
 			continue
 		}
+		a, b := lv(l0, b0, lane), lv(l1, b1, lane)
 		var t bool
 		switch in.Op {
 		case isa.OpVCmpLt:
-			t = sext(w.vread(in.Src0, lane)) < sext(w.vread(in.Src1, lane))
+			t = sext(a) < sext(b)
 		case isa.OpVCmpLe:
-			t = sext(w.vread(in.Src0, lane)) <= sext(w.vread(in.Src1, lane))
+			t = sext(a) <= sext(b)
 		case isa.OpVCmpEq:
-			t = w.vread(in.Src0, lane) == w.vread(in.Src1, lane)
+			t = a == b
 		case isa.OpVCmpNe:
-			t = w.vread(in.Src0, lane) != w.vread(in.Src1, lane)
+			t = a != b
 		case isa.OpVCmpGt:
-			t = sext(w.vread(in.Src0, lane)) > sext(w.vread(in.Src1, lane))
+			t = sext(a) > sext(b)
 		case isa.OpVCmpGe:
-			t = sext(w.vread(in.Src0, lane)) >= sext(w.vread(in.Src1, lane))
+			t = sext(a) >= sext(b)
 		case isa.OpVFCmpLt:
-			t = f32(w.vread(in.Src0, lane)) < f32(w.vread(in.Src1, lane))
+			t = f32(a) < f32(b)
 		case isa.OpVFCmpGt:
-			t = f32(w.vread(in.Src0, lane)) > f32(w.vread(in.Src1, lane))
+			t = f32(a) > f32(b)
 		}
 		if t {
 			vcc |= 1 << uint(lane)
 		}
 	}
-	w.VCC = vcc
+	w.store.vcc[w.slot] = vcc
 }
 
-func (w *Warp) vectorMem(in *isa.Inst, info *StepInfo, store bool) {
+func (w *Warp) vectorMem(in *isa.Inst, info *StepInfo, sgpr []uint32, store bool) {
 	info.Kind = StepVectorMem
 	info.IsStore = store
+	st := w.store
+	vgpr := w.vregs()
+	exec := st.exec[w.slot]
+	la, ba := vsrc(sgpr, vgpr, in.Src0)
+	lval, bval := vsrc(sgpr, vgpr, in.Src1)
+	var dst []uint32
+	if !store {
+		dst = vdst(vgpr, in.Dst)
+	}
 	n := 0
 	memArena := w.Launch.Memory
 	for lane := 0; lane < kernel.WavefrontSize; lane++ {
-		if w.Exec&(1<<uint(lane)) == 0 {
+		if exec&(1<<uint(lane)) == 0 {
 			continue
 		}
-		addr := uint64(w.vread(in.Src0, lane)) + uint64(int64(in.Offset))
-		w.addrBuf[n] = addr
+		addr := uint64(lv(la, ba, lane)) + uint64(int64(in.Offset))
+		st.addrBuf[n] = addr
 		n++
 		if store {
-			memArena.Write32(addr, w.vread(in.Src1, lane))
+			memArena.Write32(addr, lv(lval, bval, lane))
 		} else {
-			w.vwrite(in.Dst, lane, memArena.Read32(addr))
+			dst[lane] = memArena.Read32(addr)
 		}
 	}
-	info.Addrs = w.addrBuf[:n]
-	w.outstandingMem++
+	info.Addrs = st.addrBuf[:n]
+	st.outMem[w.slot]++
 }
 
 // atomicMem executes a per-lane read-modify-write. Lanes resolve in lane
 // order, making intra-warp conflicts on one address deterministic.
-func (w *Warp) atomicMem(in *isa.Inst, info *StepInfo) {
+func (w *Warp) atomicMem(in *isa.Inst, info *StepInfo, sgpr []uint32) {
 	info.Kind = StepAtomic
 	info.IsStore = true
+	st := w.store
+	vgpr := w.vregs()
+	exec := st.exec[w.slot]
+	la, ba := vsrc(sgpr, vgpr, in.Src0)
+	lval, bval := vsrc(sgpr, vgpr, in.Src1)
+	var dst []uint32
+	if in.Dst.Kind == isa.OperandVReg {
+		dst = vdst(vgpr, in.Dst)
+	}
 	n := 0
 	memArena := w.Launch.Memory
 	for lane := 0; lane < kernel.WavefrontSize; lane++ {
-		if w.Exec&(1<<uint(lane)) == 0 {
+		if exec&(1<<uint(lane)) == 0 {
 			continue
 		}
-		addr := uint64(w.vread(in.Src0, lane)) + uint64(int64(in.Offset))
-		w.addrBuf[n] = addr
+		addr := uint64(lv(la, ba, lane)) + uint64(int64(in.Offset))
+		st.addrBuf[n] = addr
 		n++
 		old := memArena.Read32(addr)
-		val := w.vread(in.Src1, lane)
+		val := lv(lval, bval, lane)
 		var next uint32
 		switch in.Op {
 		case isa.OpVAtomicAdd:
@@ -493,28 +554,36 @@ func (w *Warp) atomicMem(in *isa.Inst, info *StepInfo) {
 			next = bits32(f32(old) + f32(val))
 		}
 		memArena.Write32(addr, next)
-		if in.Dst.Kind == isa.OperandVReg {
-			w.vwrite(in.Dst, lane, old)
+		if dst != nil {
+			dst[lane] = old
 		}
 	}
-	info.Addrs = w.addrBuf[:n]
-	w.outstandingMem++
+	info.Addrs = st.addrBuf[:n]
+	st.outMem[w.slot]++
 }
 
-func (w *Warp) ldsAccess(in *isa.Inst, info *StepInfo, store bool) {
+func (w *Warp) ldsAccess(in *isa.Inst, info *StepInfo, sgpr []uint32, store bool) {
 	info.Kind = StepLDS
 	info.IsStore = store
+	vgpr := w.vregs()
+	exec := w.store.exec[w.slot]
+	la, ba := vsrc(sgpr, vgpr, in.Src0)
+	lval, bval := vsrc(sgpr, vgpr, in.Src1)
+	var dst []uint32
+	if !store {
+		dst = vdst(vgpr, in.Dst)
+	}
 	for lane := 0; lane < kernel.WavefrontSize; lane++ {
-		if w.Exec&(1<<uint(lane)) == 0 {
+		if exec&(1<<uint(lane)) == 0 {
 			continue
 		}
-		addr := int(w.vread(in.Src0, lane)) + int(in.Offset)
+		addr := int(lv(la, ba, lane)) + int(in.Offset)
 		if addr < 0 || addr+4 > len(w.lds) {
 			panic(fmt.Sprintf("emu: %s warp %d: LDS access %d out of %d bytes",
 				w.Launch.Name, w.GlobalID, addr, len(w.lds)))
 		}
 		if store {
-			v := w.vread(in.Src1, lane)
+			v := lv(lval, bval, lane)
 			w.lds[addr] = byte(v)
 			w.lds[addr+1] = byte(v >> 8)
 			w.lds[addr+2] = byte(v >> 16)
@@ -522,7 +591,7 @@ func (w *Warp) ldsAccess(in *isa.Inst, info *StepInfo, store bool) {
 		} else {
 			v := uint32(w.lds[addr]) | uint32(w.lds[addr+1])<<8 |
 				uint32(w.lds[addr+2])<<16 | uint32(w.lds[addr+3])<<24
-			w.vwrite(in.Dst, lane, v)
+			dst[lane] = v
 		}
 	}
 }

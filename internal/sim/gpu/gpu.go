@@ -38,6 +38,15 @@ func (g *GPU) SetMetrics(reg *obs.Registry) {
 	g.hier.SetMetrics(reg)
 }
 
+// WarpStoreBudget reports the structure-of-arrays warp-state footprint of
+// running l on this GPU: how many warp slots the timing machine's store is
+// sized to at launch time (the device's resident capacity, capped by the
+// grid dimensions) and the architectural bytes each slot occupies in the
+// slabs. The bench footprint report and capacity planning read this.
+func (g *GPU) WarpStoreBudget(l *kernel.Launch) (slots, bytesPerWarp int) {
+	return timing.ResidentWarpSlots(g.cfg.Compute, l), emu.WarpBytes(l)
+}
+
 // RunDetailed simulates the launch in detailed mode. obs may be nil; gate,
 // when non-nil, is polled before each workgroup dispatch and stops detailed
 // simulation when it returns true. Caches are reset so every kernel starts

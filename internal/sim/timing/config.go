@@ -12,6 +12,7 @@ import (
 
 	"photon/internal/sim/event"
 	"photon/internal/sim/isa"
+	"photon/internal/sim/kernel"
 )
 
 // Config holds the compute-side timing parameters. Memory parameters live
@@ -42,6 +43,22 @@ type Config struct {
 
 // WarpSlotsPerCU returns the CU's warp capacity.
 func (c Config) WarpSlotsPerCU() int { return c.SIMDsPerCU * c.WarpSlotsPerSIMD }
+
+// ResidentWarpSlots returns how many warps of launch l can be
+// architecturally resident at once under this geometry: the device-wide
+// slot capacity, capped by the launch's own warp count. The machine sizes
+// its structure-of-arrays WarpStore to this at launch time, so small grids
+// pay only for the slots they can occupy.
+func ResidentWarpSlots(c Config, l *kernel.Launch) int {
+	slots := c.NumCUs * c.WarpSlotsPerCU()
+	if t := l.TotalWarps(); t < slots {
+		slots = t
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
 
 // Validate checks the configuration.
 func (c Config) Validate() error {

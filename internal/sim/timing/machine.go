@@ -36,12 +36,19 @@ type Machine struct {
 	gated      bool
 	gateTime   event.Time
 
+	// store holds every resident warp's architectural state in
+	// structure-of-arrays slabs, sized per launch from the grid dimensions
+	// (ResidentWarpSlots). A warpCtx holds a slot handle into it; dispatch
+	// allocates slots from the store's free list and whole-workgroup
+	// retirement releases them, mirroring the runtime-object free lists
+	// below.
+	store emu.WarpStore
+
 	// Free lists for the high-churn per-workgroup runtime objects. A retired
-	// workgroup returns its groupRT, warp contexts (with their emu.Warp
-	// register files) and LDS backing here; the next dispatch reuses them, so
-	// steady-state dispatch allocates nothing. The lists are per-Machine and
-	// the parallel harness gives each job its own Machine, so no locking is
-	// needed.
+	// workgroup returns its groupRT, warp contexts and LDS backing here; the
+	// next dispatch reuses them, so steady-state dispatch allocates nothing.
+	// The lists are per-Machine and the parallel harness gives each job its
+	// own Machine, so no locking is needed.
 	freeWCs    []*warpCtx
 	freeGroups []*groupRT
 	freeLDS    [][]byte
@@ -77,7 +84,9 @@ type simdUnit struct {
 }
 
 type warpCtx struct {
-	w    *emu.Warp
+	// warp is the slot handle into the machine's WarpStore; the context
+	// embeds it by value so issuing never chases a per-warp heap pointer.
+	warp emu.Warp
 	cu   *cu
 	simd *simdUnit
 	grp  *groupRT
@@ -213,6 +222,11 @@ func (m *Machine) Run(l *kernel.Launch) (Result, error) {
 			l.WarpsPerGroup, m.cfg.WarpSlotsPerCU())
 	}
 	m.launch = l
+	// Size the warp store from the grid dimensions: enough slots for every
+	// warp that can be architecturally resident at once, but never more
+	// than the launch itself needs. Alloc grows it in chunks if a later
+	// launch outruns the plan.
+	m.store.Configure(l, ResidentWarpSlots(m.cfg, l))
 	// Give each program a distinct, stable fetch-address region.
 	m.progBase = 1 << 40
 	m.nextWG = 0
@@ -279,11 +293,7 @@ func (m *Machine) placeGroup(c *cu, wgID int, now event.Time) {
 	for i := 0; i < m.launch.WarpsPerGroup; i++ {
 		wc := m.takeWarpCtx()
 		gid := wgID*m.launch.WarpsPerGroup + i
-		if wc.w == nil {
-			wc.w = emu.NewWarp(m.launch, gid, grp.lds)
-		} else {
-			wc.w.Reset(m.launch, gid, grp.lds)
-		}
+		wc.warp = m.store.Bind(m.store.Alloc(), gid, grp.lds)
 		wc.cu = c
 		wc.grp = grp
 		wc.simd = c.simds[c.rrSIMD]
@@ -378,10 +388,10 @@ func (m *Machine) issue(wc *warpCtx, now event.Time) {
 	if !wc.started {
 		wc.started = true
 		wc.issueTime = now
-		m.obs.OnWarpStart(now, wc.w)
+		m.obs.OnWarpStart(now, &wc.warp)
 	}
 	info := &wc.info
-	wc.w.Step(info)
+	wc.warp.Step(info)
 	m.instCount++
 
 	// Basic-block accounting: a block's execution interval spans from the
@@ -390,7 +400,7 @@ func (m *Machine) issue(wc *warpCtx, now event.Time) {
 	var fetchDone event.Time
 	if info.EnteredB {
 		if wc.inBlock {
-			m.obs.OnBlockRetired(now, wc.w, wc.curBlock, wc.curBlockEnter, now)
+			m.obs.OnBlockRetired(now, &wc.warp, wc.curBlock, wc.curBlockEnter, now)
 		}
 		wc.inBlock = true
 		wc.curBlock = info.BlockIdx
@@ -440,12 +450,12 @@ func (m *Machine) issue(wc *warpCtx, now event.Time) {
 		}
 	case emu.StepBarrier:
 		m.classLatSum[class] += uint64(latency)
-		m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
+		m.obs.OnInstIssued(now, wc.cu.id, &wc.warp, class, latency)
 		m.arriveBarrier(wc, now)
 		return
 	case emu.StepDone:
 		m.classLatSum[class] += uint64(latency)
-		m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
+		m.obs.OnInstIssued(now, wc.cu.id, &wc.warp, class, latency)
 		m.retireWarp(wc, now)
 		return
 	}
@@ -454,7 +464,7 @@ func (m *Machine) issue(wc *warpCtx, now event.Time) {
 		ready = fetchDone
 	}
 	m.classLatSum[class] += uint64(latency)
-	m.obs.OnInstIssued(now, wc.cu.id, wc.w, class, latency)
+	m.obs.OnInstIssued(now, wc.cu.id, &wc.warp, class, latency)
 	m.warpReadyAt(wc, ready)
 }
 
@@ -464,8 +474,8 @@ func (m *Machine) arriveBarrier(wc *warpCtx, now event.Time) {
 	if g.atBarrier >= g.live {
 		g.atBarrier = 0
 		for _, sib := range g.warps {
-			if !sib.w.Done && sib.w.AtBarrier {
-				sib.w.AtBarrier = false
+			if !sib.warp.Done() && sib.warp.AtBarrier() {
+				sib.warp.ClearBarrier()
 				m.warpReadyAt(sib, now+m.cfg.BarrierLatency)
 			}
 		}
@@ -474,10 +484,10 @@ func (m *Machine) arriveBarrier(wc *warpCtx, now event.Time) {
 
 func (m *Machine) retireWarp(wc *warpCtx, now event.Time) {
 	if wc.inBlock {
-		m.obs.OnBlockRetired(now, wc.w, wc.curBlock, wc.curBlockEnter, now)
+		m.obs.OnBlockRetired(now, &wc.warp, wc.curBlock, wc.curBlockEnter, now)
 		wc.inBlock = false
 	}
-	m.obs.OnWarpRetired(now, wc.w, wc.issueTime)
+	m.obs.OnWarpRetired(now, &wc.warp, wc.issueTime)
 	m.warpsDone++
 	m.retired[wc.cu.id]++
 	g := wc.grp
@@ -488,8 +498,8 @@ func (m *Machine) retireWarp(wc *warpCtx, now event.Time) {
 		if g.atBarrier >= g.live && g.atBarrier > 0 {
 			g.atBarrier = 0
 			for _, sib := range g.warps {
-				if !sib.w.Done && sib.w.AtBarrier {
-					sib.w.AtBarrier = false
+				if !sib.warp.Done() && sib.warp.AtBarrier() {
+					sib.warp.ClearBarrier()
 					m.warpReadyAt(sib, now+m.cfg.BarrierLatency)
 				}
 			}
@@ -498,7 +508,13 @@ func (m *Machine) retireWarp(wc *warpCtx, now event.Time) {
 	}
 	// Workgroup complete: free the slots, recycle the runtime objects and
 	// admit pending work. No observer retains warp pointers past its
-	// callback (they read fields synchronously), so reuse is safe.
+	// callback (they read fields synchronously), so reuse is safe. Store
+	// slots are released only here, never at individual warp retirement:
+	// the barrier logic above still reads retired siblings' Done/AtBarrier
+	// state, so their slots must stay bound until the whole group drains.
+	for _, sib := range g.warps {
+		m.store.Release(sib.warp.Slot())
+	}
 	m.freeWCs = append(m.freeWCs, g.warps...)
 	g.warps = g.warps[:0]
 	if g.lds != nil {

@@ -128,7 +128,7 @@ func (t *Tracer) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
 	t.line("W- ", now)
 	t.field(" warp=", int64(w.GlobalID))
 	t.field(" issue=", int64(issue))
-	t.field(" insts=", int64(w.InstCount))
+	t.field(" insts=", int64(w.InstCount()))
 	t.scratch = append(t.scratch, '\n')
 	t.emit()
 }

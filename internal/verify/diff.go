@@ -170,7 +170,9 @@ func runFunctional(c *Case) (map[int]emu.WarpState, []uint32, error) {
 			return nil, nil, err
 		}
 		for _, w := range grp.Warps {
-			states[w.GlobalID] = w.Snapshot()
+			var st emu.WarpState
+			w.SnapshotInto(&st)
+			states[w.GlobalID] = st
 		}
 	}
 	return states, segWords(l.Memory, seg), nil
@@ -203,7 +205,11 @@ func (o *captureObs) OnInstIssued(now event.Time, cuID int, w *emu.Warp, class i
 }
 
 func (o *captureObs) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
-	o.states[w.GlobalID] = w.Snapshot()
+	// SnapshotInto reuses the slices of any previous snapshot under this
+	// warp ID, so steady-state capture does not allocate per retirement.
+	st := o.states[w.GlobalID]
+	w.SnapshotInto(&st)
+	o.states[w.GlobalID] = st
 	o.retireAt[w.GlobalID] = now
 }
 
