@@ -56,10 +56,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		check      = fs.Bool("check", false, "audit simulator invariants inline on every sampled run")
 		metricsOut = fs.String("metrics-out", "", "write a telemetry snapshot (metrics.json) to this file")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event file (load in chrome://tracing or Perfetto)")
+		accOut     = fs.String("accuracy-out", "", "write the per-kernel sampling-accuracy ledger (JSON lines) to this file")
+		logLevel   = fs.String("log-level", "", "enable structured stderr logging at this level (debug, info, warn, error)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		perf       = fs.Bool("perf", false, "run the hot-path performance baseline instead of experiments")
-		perfOut    = fs.String("perf-out", "BENCH_PR6.json", "where -perf writes its JSON report")
+		perfOut    = fs.String("perf-out", "BENCH_PR7.json", "where -perf writes its JSON report")
 		version    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +101,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		check:      *check,
 		metricsOut: *metricsOut,
 		traceOut:   *traceOut,
+		accOut:     *accOut,
+		logLevel:   *logLevel,
 	}, stdout, stderr)
 	// A profile that fails to materialize is a failed run, not a footnote:
 	// the caller asked for the artifact.
@@ -121,6 +125,8 @@ type benchFlags struct {
 	check      bool
 	metricsOut string
 	traceOut   string
+	accOut     string
+	logLevel   string
 }
 
 func runExperiments(f benchFlags, stdout, stderr io.Writer) int {
@@ -146,6 +152,26 @@ func runExperiments(f benchFlags, stdout, stderr io.Writer) int {
 	}
 	if f.traceOut != "" {
 		o.Trace = obs.NewTraceBuffer()
+	}
+	if f.logLevel != "" {
+		// Structured logs go to stderr, never stdout: row output must stay
+		// byte-identical with logging on.
+		o.Log = obs.NewTextLogger(stderr, obs.ParseLevel(f.logLevel))
+		o.Flight = obs.NewFlightRecorder(1024)
+	}
+	// The accuracy ledger always rides along: the sink keeps the run-end
+	// roll-up even when no -accuracy-out file is requested.
+	var accFile *os.File
+	if f.accOut != "" {
+		var err error
+		accFile, err = os.Create(f.accOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "photon-bench: %v\n", err)
+			return 1
+		}
+		o.Accuracy = harness.NewAccuracySink(accFile)
+	} else {
+		o.Accuracy = harness.NewAccuracySink(nil)
 	}
 	// -check wraps every sampled runner in an invariant auditor. One auditor
 	// per runner (jobs run concurrently); the run fails at the end if any of
@@ -206,6 +232,22 @@ func runExperiments(f benchFlags, stdout, stderr io.Writer) int {
 	if n := o.Baselines.Simulated(); n > 0 {
 		fmt.Fprintf(stderr, "(baseline cache: %d full runs simulated, %d reused)\n",
 			n, o.Baselines.Hits())
+	}
+	// Run-end accuracy roll-up: where the sampler spent its kernels and how
+	// far predictions drifted from the detailed baseline.
+	if o.Accuracy.Kernels() > 0 {
+		fmt.Fprintf(stderr, "(%s)\n", o.Accuracy.Summary())
+		o.Accuracy.PublishGauges(o.Metrics)
+	}
+	if accFile != nil {
+		if err := accFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "photon-bench: closing %s: %v\n", f.accOut, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "(accuracy ledger: %d kernels -> %s)\n", o.Accuracy.Kernels(), f.accOut)
+	}
+	if o.Log != nil && o.Log.Suppressed() > 0 {
+		fmt.Fprintf(stderr, "photon-bench: %d log records suppressed by rate limit\n", o.Log.Suppressed())
 	}
 	if jsonFile != nil {
 		if err := jsonFile.Close(); err != nil {

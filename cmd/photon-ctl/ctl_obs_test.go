@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"photon/internal/obs"
+	"photon/internal/serve"
+)
+
+// obsStubServer boots an in-process photon-serve with a stub executor that
+// emits log events and a fabricated accuracy ledger, plus a live flight
+// recorder — everything the new subcommands talk to.
+func obsStubServer(t *testing.T) (*httptest.Server, *serve.Scheduler) {
+	t.Helper()
+	const ledger = `{"bench":"MM","runner":"photon","kernel":"mm_tile","index":0,"tier":"bb-sampling","predicted_cycles":102,"detailed_cycles":100,"err_pct":2,"insts":10}
+`
+	exec := func(ctx context.Context, req serve.JobRequest, h serve.Hooks) (serve.Output, error) {
+		if h.Progress != nil {
+			h.Progress(serve.Event{Type: "log", Level: "INFO", Msg: "kernel simulated",
+				Fields: map[string]string{"index": "0", "tier": "bb-sampling"}})
+			h.Progress(serve.Event{Type: "span", Name: "job-0", Cat: "engine-job"})
+		}
+		return serve.Output{Text: "ok\n", Accuracy: ledger}, nil
+	}
+	reg := obs.NewRegistry()
+	sched := serve.NewScheduler(serve.Config{
+		Metrics:  reg,
+		Flight:   obs.NewFlightRecorder(64),
+		Executor: exec,
+	})
+	ts := httptest.NewServer(serve.NewServer(sched, reg).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		sched.Drain(ctx)
+	})
+	return ts, sched
+}
+
+// run invokes the ctl entrypoint and captures stdout/stderr.
+func run(t *testing.T, server string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code := realMain(append([]string{"-server", server}, args...), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func submitAndWait(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	code, out, errOut := run(t, ts.URL, "submit", "-bench", "mm")
+	if code != 0 {
+		t.Fatalf("submit exit %d: %s", code, errOut)
+	}
+	id := strings.TrimSpace(out)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, sOut, _ := run(t, ts.URL, "status", id); c == 0 && strings.Contains(sOut, `"state": "done"`) {
+			return id
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return ""
+}
+
+func TestCtlLogs(t *testing.T) {
+	ts, _ := obsStubServer(t)
+	id := submitAndWait(t, ts)
+
+	// Default rendering: one line per log record, attrs sorted, span and
+	// state events filtered out.
+	code, out, errOut := run(t, ts.URL, "logs", id)
+	if code != 0 {
+		t.Fatalf("logs exit %d: %s", code, errOut)
+	}
+	if out != "INFO kernel simulated index=0 tier=bb-sampling\n" {
+		t.Errorf("logs output = %q", out)
+	}
+
+	// -json passes the raw event through.
+	code, out, _ = run(t, ts.URL, "logs", "-json", id)
+	if code != 0 {
+		t.Fatalf("logs -json exit %d", code)
+	}
+	if !strings.Contains(out, `"type":"log"`) || !strings.Contains(out, `"msg":"kernel simulated"`) {
+		t.Errorf("logs -json output = %q", out)
+	}
+	if strings.Contains(out, `"type":"span"`) {
+		t.Errorf("logs leaked non-log events: %q", out)
+	}
+}
+
+func TestCtlAccuracy(t *testing.T) {
+	ts, _ := obsStubServer(t)
+	id := submitAndWait(t, ts)
+
+	code, out, errOut := run(t, ts.URL, "accuracy", id)
+	if code != 0 {
+		t.Fatalf("accuracy exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, `"tier":"bb-sampling"`) {
+		t.Errorf("accuracy output = %q", out)
+	}
+
+	code, out, _ = run(t, ts.URL, "accuracy", "-summary", id)
+	if code != 0 {
+		t.Fatalf("accuracy -summary exit %d", code)
+	}
+	for _, want := range []string{"bench", "mean_err%", "MM", "photon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCtlFlight(t *testing.T) {
+	ts, _ := obsStubServer(t)
+	submitAndWait(t, ts)
+
+	code, out, errOut := run(t, ts.URL, "flight")
+	if code != 0 {
+		t.Fatalf("flight exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "flight recorder:") || !strings.Contains(out, "[sched]") {
+		t.Errorf("flight text output = %q", out)
+	}
+
+	code, out, _ = run(t, ts.URL, "flight", "-json")
+	if code != 0 {
+		t.Fatalf("flight -json exit %d", code)
+	}
+	if !strings.Contains(out, `"events"`) || !strings.Contains(out, `"kind": "sched"`) {
+		t.Errorf("flight -json output = %q", out)
+	}
+}

@@ -6,6 +6,9 @@
 //	photon-ctl result j000001          # prints the text artifact
 //	photon-ctl result -json j000001    # prints the full JSON result
 //	photon-ctl watch j000001           # streams SSE progress events
+//	photon-ctl logs j000001            # tails the job's structured log events
+//	photon-ctl accuracy j000001        # prints the job's sampling-accuracy ledger
+//	photon-ctl flight                  # dumps the daemon's flight recorder
 //	photon-ctl cancel j000001
 //	photon-ctl list | health | metrics
 //
@@ -21,10 +24,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"photon/internal/buildinfo"
+	"photon/internal/harness"
 	"photon/internal/serve"
 )
 
@@ -41,6 +46,9 @@ commands:
   result   print a job's result artifact (-json for the full record)
   events   alias of watch
   watch    stream a job's SSE progress events
+  logs     tail a job's structured log events (replay + live; -json raw)
+  accuracy print a job's sampling-accuracy ledger (-summary for a table)
+  flight   dump the daemon's flight recorder (-json raw)
   cancel   cancel a job
   list     list jobs
   health   print /healthz
@@ -76,6 +84,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return c.result(rest)
 	case "watch", "events":
 		return c.watch(rest)
+	case "logs":
+		return c.logs(rest)
+	case "accuracy":
+		return c.accuracy(rest)
+	case "flight":
+		return c.flight(rest)
 	case "cancel":
 		return c.cancel(rest)
 	case "list":
@@ -333,5 +347,137 @@ func (c *client) watch(args []string) int {
 	if err := sc.Err(); err != nil {
 		return c.fail(err)
 	}
+	return 0
+}
+
+// logs tails the job's structured log events over the same SSE stream watch
+// uses, filtered to type "log": the replay delivers everything the job
+// logged so far, then live records follow until the job finishes. -json
+// passes the raw event JSON through; the default renders one line per
+// record (LEVEL message key=value ...).
+func (c *client) logs(args []string) int {
+	fs := flag.NewFlagSet("logs", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	asJSON := fs.Bool("json", false, "print raw event JSON instead of formatted lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	id, ok := jobID(fs, c.stderr)
+	if !ok {
+		return 2
+	}
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return c.fail(fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil || ev.Type != "log" {
+			continue
+		}
+		if *asJSON {
+			fmt.Fprintln(c.stdout, data)
+			continue
+		}
+		line := ev.Level + " " + ev.Msg
+		keys := make([]string, 0, len(ev.Fields))
+		for k := range ev.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += " " + k + "=" + ev.Fields[k]
+		}
+		fmt.Fprintln(c.stdout, line)
+	}
+	if err := sc.Err(); err != nil {
+		return c.fail(err)
+	}
+	return 0
+}
+
+// accuracy prints the job's per-kernel sampling-accuracy ledger: the raw
+// JSON lines by default (pipe into jq or photon-report), or a per-run
+// roll-up table with -summary.
+func (c *client) accuracy(args []string) int {
+	fs := flag.NewFlagSet("accuracy", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	summary := fs.Bool("summary", false, "print a per-(bench, runner) summary table instead of raw JSONL")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	id, ok := jobID(fs, c.stderr)
+	if !ok {
+		return 2
+	}
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/accuracy")
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c.fail(err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		fmt.Fprintf(c.stderr, "photon-ctl: job %s has no accuracy ledger (nothing was sampled)\n", id)
+		return 0
+	case resp.StatusCode >= 300:
+		return c.fail(fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))))
+	}
+	if !*summary {
+		fmt.Fprint(c.stdout, string(data))
+		return 0
+	}
+	recs, err := harness.ReadAccuracyRecords(bytes.NewReader(data))
+	if err != nil {
+		return c.fail(err)
+	}
+	harness.PrintAccuracySummaries(c.stdout, harness.SummarizeAccuracy(recs))
+	return 0
+}
+
+// flight dumps the daemon's flight recorder: the terminal text rendering by
+// default, the raw JSON dump with -json.
+func (c *client) flight(args []string) int {
+	fs := flag.NewFlagSet("flight", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	asJSON := fs.Bool("json", false, "print the raw JSON dump")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(c.stderr, "photon-ctl: flight takes no arguments")
+		return 2
+	}
+	path := "/debug/flight?format=text"
+	if *asJSON {
+		path = "/debug/flight"
+	}
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c.fail(err)
+	}
+	if resp.StatusCode >= 300 {
+		return c.fail(fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))))
+	}
+	fmt.Fprint(c.stdout, string(data))
 	return 0
 }

@@ -5,6 +5,15 @@
 //
 //	photon-bench -exp fig13 -json fig13.jsonl
 //	photon-report fig13.jsonl [more.jsonl ...]
+//
+// With -accuracy the inputs are per-kernel sampling-accuracy ledgers
+// (photon-bench -accuracy-out, or GET /v1/jobs/{id}/accuracy from
+// photon-serve) and the report shows, per (bench, runner), where the
+// three-tier sampler spent its kernels and how far predictions drifted
+// from the detailed baseline.
+//
+//	photon-bench -exp fig13 -quick -accuracy-out accuracy.jsonl
+//	photon-report -accuracy accuracy.jsonl
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 
 func main() {
 	var (
+		accuracy   = flag.Bool("accuracy", false, "inputs are per-kernel accuracy ledgers (photon-bench -accuracy-out)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -29,7 +39,7 @@ func main() {
 		return
 	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: photon-report <results.jsonl> [...]")
+		fmt.Fprintln(os.Stderr, "usage: photon-report [-accuracy] <results.jsonl> [...]")
 		os.Exit(2)
 	}
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
@@ -42,6 +52,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "photon-report: profiles: %v\n", err)
 		}
 	}()
+	if *accuracy {
+		var ledger []harness.AccuracyRecord
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "photon-report: %v\n", err)
+				os.Exit(1)
+			}
+			recs, err := harness.ReadAccuracyRecords(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "photon-report: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			ledger = append(ledger, recs...)
+		}
+		harness.PrintAccuracySummaries(os.Stdout, harness.SummarizeAccuracy(ledger))
+		return
+	}
+
 	var all []harness.Record
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)

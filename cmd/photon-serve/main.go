@@ -7,17 +7,24 @@
 //
 // API (see internal/serve):
 //
-//	POST   /v1/jobs             submit (202; 200 on cache hit; 429 when full)
-//	GET    /v1/jobs             list jobs
-//	GET    /v1/jobs/{id}        job status
-//	GET    /v1/jobs/{id}/result terminal artifacts
-//	GET    /v1/jobs/{id}/events SSE progress stream
-//	DELETE /v1/jobs/{id}        cancel one submission
-//	GET    /healthz /readyz /metrics
+//	POST   /v1/jobs               submit (202; 200 on cache hit; 429 when full)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status
+//	GET    /v1/jobs/{id}/result   terminal artifacts
+//	GET    /v1/jobs/{id}/accuracy per-kernel sampling-accuracy ledger (JSONL)
+//	GET    /v1/jobs/{id}/events   SSE progress + log stream
+//	DELETE /v1/jobs/{id}          cancel one submission
+//	GET    /healthz /readyz /metrics /debug/flight
+//
+// /metrics answers JSON by default and Prometheus text exposition when the
+// Accept header asks for it. Structured logs go to stderr (-log-level,
+// -log-format); the flight recorder (-flight-cap) keeps the last N
+// scheduler/tier/job events, dumpable via /debug/flight or SIGQUIT.
 //
 // SIGTERM/SIGINT starts a graceful drain: admission stops (readyz turns
 // 503), queued and running jobs finish (bounded by -drain-timeout), then
-// the process exits 0.
+// the process exits 0. SIGQUIT dumps the flight ring to stderr and keeps
+// serving.
 package main
 
 import (
@@ -54,6 +61,9 @@ func realMain(args []string, stdout, stderr *os.File) int {
 		retryAfter   = fs.Duration("retry-after", 2*time.Second, "backoff hint attached to 429 responses")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
 		maxCached    = fs.Int("max-cached", 512, "completed results kept for cache hits")
+		logLevel     = fs.String("log-level", "info", "minimum stderr log level (debug, info, warn, error)")
+		logFormat    = fs.String("log-format", "text", "stderr log encoding (text or json)")
+		flightCap    = fs.Int("flight-cap", 1024, "flight recorder ring capacity (0: disabled)")
 		version      = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,6 +72,18 @@ func realMain(args []string, stdout, stderr *os.File) int {
 	if *version {
 		fmt.Fprintln(stdout, buildinfo.Print("photon-serve"))
 		return 0
+	}
+
+	level := obs.ParseLevel(*logLevel)
+	var log *obs.Logger
+	if *logFormat == "json" {
+		log = obs.NewJSONLogger(stderr, level)
+	} else {
+		log = obs.NewTextLogger(stderr, level)
+	}
+	var flight *obs.FlightRecorder
+	if *flightCap > 0 {
+		flight = obs.NewFlightRecorder(*flightCap)
 	}
 
 	reg := obs.NewRegistry()
@@ -73,6 +95,8 @@ func realMain(args []string, stdout, stderr *os.File) int {
 		RetryAfter:       *retryAfter,
 		MaxCachedResults: *maxCached,
 		Metrics:          reg,
+		Log:              log,
+		Flight:           flight,
 		Baselines:        harness.NewBaselineCache(),
 	})
 	srv := &http.Server{
@@ -97,12 +121,28 @@ func realMain(args []string, stdout, stderr *os.File) int {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 
-	select {
-	case sig := <-sigCh:
-		fmt.Fprintf(stderr, "photon-serve: %v: draining (timeout %s)\n", sig, *drainTimeout)
-	case err := <-errCh:
-		fmt.Fprintf(stderr, "photon-serve: serve: %v\n", err)
-		return 1
+	// SIGQUIT becomes a diagnostic poke rather than a crash: dump the flight
+	// ring (the last N scheduler/tier/job events) to stderr and keep serving.
+	quitCh := make(chan os.Signal, 1)
+	if flight != nil {
+		signal.Notify(quitCh, syscall.SIGQUIT)
+	}
+
+loop:
+	for {
+		select {
+		case <-quitCh:
+			fmt.Fprintln(stderr, "photon-serve: SIGQUIT: dumping flight recorder")
+			if err := flight.WriteText(stderr); err != nil {
+				fmt.Fprintf(stderr, "photon-serve: flight dump: %v\n", err)
+			}
+		case sig := <-sigCh:
+			fmt.Fprintf(stderr, "photon-serve: %v: draining (timeout %s)\n", sig, *drainTimeout)
+			break loop
+		case err := <-errCh:
+			fmt.Fprintf(stderr, "photon-serve: serve: %v\n", err)
+			return 1
+		}
 	}
 
 	// Graceful drain: stop admitting (readyz goes 503 via sched.Draining),

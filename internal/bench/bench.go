@@ -18,6 +18,7 @@ import (
 
 	"photon/internal/core/bbv"
 	"photon/internal/harness"
+	"photon/internal/obs"
 	"photon/internal/sim/emu"
 	"photon/internal/sim/event"
 	"photon/internal/sim/gpu"
@@ -265,6 +266,21 @@ func emuReplayBench(insts *uint64) func(*testing.B) {
 	}
 }
 
+// obsFlightBench measures the flight recorder's hot path: one structured
+// event into the bounded ring per op. The ring is always on in photon-serve,
+// so steady-state recording must stay allocation-free (the alloc tests in
+// internal/obs pin it at zero; this tracks its latency).
+func obsFlightBench(b *testing.B) {
+	f := obs.NewFlightRecorder(1024)
+	ev := obs.FlightEvent{Kind: "tier", Tier: "bb-sampling", Msg: "bench-kernel", Value: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.TS = int64(i) + 1 // pre-stamped: measure the ring, not time.Now
+		f.RecordEvent(ev)
+	}
+}
+
 func toResult(name string, r testing.BenchmarkResult) Result {
 	return Result{
 		Name:        name,
@@ -335,6 +351,13 @@ func Run(w io.Writer) (Report, error) {
 	rep.Micro = append(rep.Micro, res)
 	fmt.Fprintf(w, "%-22s %12.1f ns/op %9d allocs/op %14.0f insts/s\n",
 		res.Name, res.NsPerOp, res.AllocsPerOp, res.InstsPerSec)
+
+	r = testing.Benchmark(obsFlightBench)
+	res = toResult("obs_flight_record", r)
+	res.EventsPerSec = perSec(1, res.NsPerOp)
+	rep.Micro = append(rep.Micro, res)
+	fmt.Fprintf(w, "%-22s %12.1f ns/op %9d allocs/op %14.0f events/s\n",
+		res.Name, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
 
 	e2e, err := runEndToEnd()
 	if err != nil {

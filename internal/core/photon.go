@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"photon/internal/obs"
@@ -91,6 +92,13 @@ type Photon struct {
 	history *History
 	store   *AnalysisStore // optional offline-analysis cache
 	metrics *obs.Registry
+	log     *obs.Logger
+	flight  *obs.FlightRecorder
+
+	// decisions is the per-kernel tier ledger (see ledger.go); launches
+	// numbers kernels within this instance.
+	decisions []TierDecision
+	launches  int
 }
 
 // New creates a Photon runner for the given GPU configuration.
@@ -140,10 +148,30 @@ func (p *Photon) History() *History { return p.history }
 // attribution are published into it; a nil registry detaches.
 func (p *Photon) SetMetrics(reg *obs.Registry) { p.metrics = reg }
 
-// recordKernel publishes the per-kernel telemetry: which tier produced the
-// result, and how its instructions split between detailed simulation and
-// prediction.
-func (p *Photon) recordKernel(profile *Profile, r gpu.KernelResult) {
+// SetLog attaches a structured logger; tier decisions are logged at Debug
+// with detector evidence. A nil logger (the default) costs a nil check.
+func (p *Photon) SetLog(l *obs.Logger) { p.log = l }
+
+// SetFlight attaches a flight recorder; every tier decision records one
+// bounded-ring event, so a wedged daemon can replay the controller's
+// recent choices.
+func (p *Photon) SetFlight(f *obs.FlightRecorder) { p.flight = f }
+
+// recordKernel publishes the per-kernel telemetry — which tier produced
+// the result and how its instructions split between detailed simulation
+// and prediction — and appends the decision to the ledger.
+func (p *Photon) recordKernel(name string, profile *Profile, r gpu.KernelResult, dec TierDecision) {
+	dec.Kernel = name
+	dec.Index = p.launches
+	p.launches++
+	dec.Tier = r.Mode
+	dec.Insts = r.Insts
+	dec.DetailedInsts = r.DetailedInsts
+	dec.SampledInsts = profile.SampledInsts
+	dec.PredictedCycles = float64(r.SimTime)
+	dec.DominantShare = profile.GPU.DominantShare
+	p.decisions = append(p.decisions, dec)
+
 	reg := p.metrics
 	reg.Counter("photon_tier_transitions_total", obs.L("tier", r.Mode)).Inc()
 	reg.Counter("photon_insts_detailed_total").Add(r.DetailedInsts)
@@ -151,6 +179,21 @@ func (p *Photon) recordKernel(profile *Profile, r gpu.KernelResult) {
 		reg.Counter("photon_insts_predicted_total").Add(r.Insts - r.DetailedInsts)
 	}
 	reg.Counter("photon_insts_sampled_total").Add(profile.SampledInsts)
+
+	p.flight.RecordEvent(obs.FlightEvent{
+		Kind: "tier", Tier: r.Mode, Msg: dec.Kernel, Value: float64(dec.Index),
+	})
+	if p.log.Enabled(slog.LevelDebug) {
+		p.log.Debug("kernel tier decision",
+			slog.String("kernel", dec.Kernel),
+			slog.Int("index", dec.Index),
+			slog.String("tier", dec.Tier),
+			slog.Uint64("insts", dec.Insts),
+			slog.Uint64("detailed_insts", dec.DetailedInsts),
+			slog.Float64("predicted_cycles", dec.PredictedCycles),
+			slog.Float64("bb_stable_share", dec.BBStableShare),
+			slog.Float64("dominant_share", dec.DominantShare))
+	}
 }
 
 // RunKernel implements gpu.Runner: the full Photon flow for one kernel.
@@ -196,7 +239,7 @@ func (p *Photon) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, erro
 				Mode:    "kernel-sampling",
 				Wall:    time.Since(start),
 			}
-			p.recordKernel(profile, result)
+			p.recordKernel(l.Name, profile, result, TierDecision{KernelMatch: true})
 			return result, nil
 		}
 	}
@@ -292,7 +335,12 @@ func (p *Photon) RunKernel(g *gpu.GPU, l *kernel.Launch) (gpu.KernelResult, erro
 		SimTime:      float64(result.SimTime),
 	})
 	result.Wall = time.Since(start)
-	p.recordKernel(profile, result)
+	dec := TierDecision{
+		GateCycles:    float64(res.GateTime),
+		BBStableShare: bbT.stableShare(),
+	}
+	dec.WarpSlope, dec.WarpSlopeOK = wT.slope()
+	p.recordKernel(l.Name, profile, result, dec)
 	return result, nil
 }
 

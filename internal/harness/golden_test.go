@@ -3,10 +3,14 @@ package harness
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"photon/internal/obs"
 )
 
 // The fig13 golden files pin the quick sweep's exact output — text rows and
@@ -80,8 +84,18 @@ func TestFig13MatchesGolden(t *testing.T) {
 	o.Parallel = 1
 	o.Baselines = NewBaselineCache()
 	o.JSON = NewJSONSink(&jsonl)
+	// The acceptance bar for the observability layer: default-level (Info)
+	// structured logging and the always-on flight recorder attached, output
+	// still byte-identical to the pre-observability goldens.
+	var logBuf bytes.Buffer
+	o.Log = obs.NewTextLogger(&logBuf, slog.LevelInfo)
+	o.Flight = obs.NewFlightRecorder(1024)
+	o.Accuracy = NewAccuracySink(io.Discard)
 	if err := Fig13(&txt, o); err != nil {
 		t.Fatal(err)
+	}
+	if o.Flight.Total() == 0 {
+		t.Error("flight recorder recorded nothing during the sweep")
 	}
 	// photon-bench prints a blank separator line after each experiment; the
 	// golden was captured from its stdout.

@@ -27,6 +27,9 @@ type AppResult struct {
 	Insts      uint64
 	Wall       time.Duration
 	PerKernel  []KernelRow
+	// Decisions is the runner's per-kernel tier ledger, when it keeps one
+	// (Photon); nil otherwise. Baseline caches drop it before sharing.
+	Decisions []core.TierDecision
 }
 
 // KernelRow is one kernel's outcome.
@@ -45,7 +48,7 @@ func RunApp(cfg gpu.Config, app *workloads.App, runner gpu.Runner) (AppResult, e
 
 // RunAppCtx is RunApp with cancellation at kernel-launch granularity.
 func RunAppCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runner gpu.Runner) (AppResult, error) {
-	return runAppObsCtx(ctx, cfg, app, runner, nil, nil, 0)
+	return runAppObsCtx(ctx, cfg, app, runner, AppObs{})
 }
 
 // simPID is the trace-event process id under which per-kernel simulation
@@ -53,8 +56,34 @@ func RunAppCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runner g
 const simPID = 2
 
 // metricSetter is implemented by runners that publish telemetry (Photon);
-// runners without it are simply not instrumented.
+// runners without it are simply not instrumented. logSetter and
+// flightSetter are the structured-logging and flight-recorder analogues.
 type metricSetter interface{ SetMetrics(*obs.Registry) }
+
+type logSetter interface{ SetLog(*obs.Logger) }
+
+type flightSetter interface{ SetFlight(*obs.FlightRecorder) }
+
+// AppObs bundles the observability sinks one application run publishes
+// into; the zero value runs unobserved.
+type AppObs struct {
+	Metrics *obs.Registry
+	Trace   *obs.TraceBuffer
+	Log     *obs.Logger
+	Flight  *obs.FlightRecorder
+	// TID is the trace-span thread id for this run (callers running apps
+	// concurrently pass distinct tids so spans do not overlap).
+	TID int
+}
+
+// RunAppInstrumented runs the app with the full observability bundle
+// attached: metrics and trace as RunAppObs, plus structured logging on the
+// GPU's timing machines and the runner, and a flight recorder on the
+// runner. The runner's tier ledger, when it keeps one, is returned in
+// AppResult.Decisions.
+func RunAppInstrumented(ctx context.Context, cfg gpu.Config, app *workloads.App, runner gpu.Runner, ao AppObs) (AppResult, error) {
+	return runAppObsCtx(ctx, cfg, app, runner, ao)
+}
 
 // RunAppObs is RunApp with telemetry: the GPU's memory hierarchy and timing
 // machines publish into reg, the runner does too when it supports it, and
@@ -63,14 +92,14 @@ type metricSetter interface{ SetMetrics(*obs.Registry) }
 // not overlap). A nil registry and trace buffer make it equivalent to
 // RunApp.
 func RunAppObs(cfg gpu.Config, app *workloads.App, runner gpu.Runner, reg *obs.Registry, tr *obs.TraceBuffer, tid int) (AppResult, error) {
-	return runAppObsCtx(context.Background(), cfg, app, runner, reg, tr, tid)
+	return runAppObsCtx(context.Background(), cfg, app, runner, AppObs{Metrics: reg, Trace: tr, TID: tid})
 }
 
 // RunAppObsCtx is RunAppObs with cancellation at kernel-launch granularity;
 // sweep jobs pass their engine task context so one cancelled service job
 // stops simulating without touching its siblings.
 func RunAppObsCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runner gpu.Runner, reg *obs.Registry, tr *obs.TraceBuffer, tid int) (AppResult, error) {
-	return runAppObsCtx(ctx, cfg, app, runner, reg, tr, tid)
+	return runAppObsCtx(ctx, cfg, app, runner, AppObs{Metrics: reg, Trace: tr, TID: tid})
 }
 
 // runAppObsCtx is the shared implementation: it checks ctx between kernel
@@ -78,15 +107,24 @@ func RunAppObsCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runne
 // of the signal instead of simulating the rest of the application. The
 // partial result accumulated so far is returned alongside the context error
 // (callers that checkpoint in-flight work keep it; everyone else discards).
-func runAppObsCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runner gpu.Runner, reg *obs.Registry, tr *obs.TraceBuffer, tid int) (AppResult, error) {
+func runAppObsCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runner gpu.Runner, ao AppObs) (AppResult, error) {
 	g := gpu.New(cfg)
-	if reg != nil {
-		g.SetMetrics(reg)
+	if ao.Metrics != nil {
+		g.SetMetrics(ao.Metrics)
 	}
-	if ms, ok := runner.(metricSetter); ok && reg != nil {
-		ms.SetMetrics(reg)
+	if ao.Log != nil {
+		g.SetLog(ao.Log)
 	}
-	tr.NameProcess(simPID, "simulation")
+	if ms, ok := runner.(metricSetter); ok && ao.Metrics != nil {
+		ms.SetMetrics(ao.Metrics)
+	}
+	if ls, ok := runner.(logSetter); ok && ao.Log != nil {
+		ls.SetLog(ao.Log)
+	}
+	if fs, ok := runner.(flightSetter); ok && ao.Flight != nil {
+		fs.SetFlight(ao.Flight)
+	}
+	ao.Trace.NameProcess(simPID, "simulation")
 	res := AppResult{Runner: runner.Name()}
 	for _, l := range app.Launches {
 		if err := ctx.Err(); err != nil {
@@ -97,7 +135,7 @@ func runAppObsCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runne
 		if err != nil {
 			return res, fmt.Errorf("harness: %s/%s under %s: %w", app.Name, l.Name, runner.Name(), err)
 		}
-		tr.Complete(app.Name+"/"+l.Name, "kernel", simPID, tid, start, r.Wall, map[string]any{
+		ao.Trace.Complete(app.Name+"/"+l.Name, "kernel", simPID, ao.TID, start, r.Wall, map[string]any{
 			"runner": runner.Name(), "mode": r.Mode,
 			"sim_cycles": r.SimTime, "insts": r.Insts,
 		})
@@ -107,6 +145,9 @@ func runAppObsCtx(ctx context.Context, cfg gpu.Config, app *workloads.App, runne
 		res.PerKernel = append(res.PerKernel, KernelRow{
 			Name: l.Name, SimTime: r.SimTime, Insts: r.Insts, Mode: r.Mode, Wall: r.Wall,
 		})
+	}
+	if ds, ok := runner.(decisionSource); ok {
+		res.Decisions = ds.Decisions()
 	}
 	return res, nil
 }

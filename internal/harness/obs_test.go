@@ -10,6 +10,8 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"reflect"
 	"testing"
 
@@ -28,8 +30,20 @@ func runObservedSweep(t *testing.T, parallel int) (string, []Record, []byte, []b
 	o.Baselines = NewBaselineCache()
 	o.Metrics = obs.NewRegistry()
 	o.Trace = obs.NewTraceBuffer()
+	// The full pillar set rides along so the determinism test below also
+	// proves that debug-level logging, the flight recorder and the accuracy
+	// ledger never perturb the byte-identical outputs.
+	o.Log = obs.NewJSONLogger(io.Discard, slog.LevelDebug)
+	o.Flight = obs.NewFlightRecorder(256)
+	o.Accuracy = NewAccuracySink(io.Discard)
 	if err := o.RunSweep(&text, detSweep(o)); err != nil {
 		t.Fatal(err)
+	}
+	if o.Accuracy.Kernels() == 0 {
+		t.Fatal("accuracy sink saw no kernels")
+	}
+	if o.Flight.Total() == 0 {
+		t.Fatal("flight recorder saw no events")
 	}
 	FinalizeMetrics(o.Metrics)
 	var metrics, trace bytes.Buffer

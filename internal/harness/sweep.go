@@ -81,7 +81,9 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 				if err != nil {
 					return Comparison{}, err
 				}
-				res, err := RunAppObsCtx(ctx, s.Config, app, o.runner(f, s.Config), o.Metrics, o.Trace, tid)
+				res, err := runAppObsCtx(ctx, s.Config, app, o.runner(f, s.Config), AppObs{
+					Metrics: o.Metrics, Trace: o.Trace, Log: o.Log, Flight: o.Flight, TID: tid,
+				})
 				if err != nil {
 					return Comparison{}, err
 				}
@@ -89,7 +91,7 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 			})
 		}
 	}
-	ins := engine.Instrumentation{Metrics: o.Metrics, Trace: o.Trace}
+	ins := engine.Instrumentation{Metrics: o.Metrics, Trace: o.Trace, Log: o.Log, Flight: o.Flight}
 	return engine.RunObserved(o.ctx(), o.Parallel, tasks, ins,
 		func(_ int, c Comparison, meta engine.JobMeta) error {
 			c = o.normalize(c)
@@ -100,6 +102,13 @@ func (o Options) RunSweep(w io.Writer, s Sweep) error {
 				rec.Worker, rec.JobWallMS = 0, 1.0
 			}
 			PrintRow(w, c)
+			// The accuracy ledger rides the same plan-order callback, so its
+			// records are deterministic for any worker count.
+			for _, ar := range accuracyRecords(s.Experiment, c) {
+				if err := o.Accuracy.Emit(ar); err != nil {
+					return err
+				}
+			}
 			return o.JSON.Emit(rec)
 		})
 }

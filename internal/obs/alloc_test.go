@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"io"
+	"log/slog"
 	"testing"
 
 	"photon/internal/testutil"
@@ -19,5 +21,42 @@ func TestNilRegistryZeroAlloc(t *testing.T) {
 		c.Add(3)
 		c.Inc()
 		g.Set(4)
+	})
+}
+
+// TestDisabledLoggerZeroAlloc pins the logging-off path. Two shapes
+// matter: the nil logger (logging never configured), and a real logger
+// whose level filters the record out. In both, attr-free calls and
+// Enabled-guarded attr calls must not allocate — variadic attr slices
+// escape at the call site, so hot paths are written with the guard, and
+// this test keeps that contract honest.
+func TestDisabledLoggerZeroAlloc(t *testing.T) {
+	var nilLogger *Logger
+	quiet := NewTextLogger(io.Discard, slog.LevelInfo) // debug disabled
+	testutil.MustZeroAllocs(t, "obs disabled-logger path", func() {
+		nilLogger.Info("msg")
+		nilLogger.Debug("msg")
+		if nilLogger.Enabled(slog.LevelInfo) {
+			nilLogger.Info("msg", slog.Int("k", 1))
+		}
+		quiet.Debug("msg")
+		if quiet.Enabled(slog.LevelDebug) {
+			quiet.Debug("msg", slog.Int("kernel", 3), slog.String("tier", "full"))
+		}
+	})
+}
+
+// TestFlightRecordZeroAlloc pins the always-on flight-recorder hot path:
+// recording into the preallocated ring must not allocate, so components
+// can leave it enabled in production paths.
+func TestFlightRecordZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(256)
+	ev := FlightEvent{Kind: "tier", Tier: "bb-sampling", Job: "cafe", Value: 7}
+	var nilRec *FlightRecorder
+	testutil.MustZeroAllocs(t, "obs flight-record path", func() {
+		f.RecordEvent(ev)
+		f.Record("sched", "admit")
+		nilRec.RecordEvent(ev)
+		nilRec.Record("sched", "admit")
 	})
 }

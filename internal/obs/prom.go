@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for a registry
+// Snapshot. The JSON artifact stays the canonical schema; this writer
+// exists so a stock Prometheus/VictoriaMetrics scraper can consume
+// /metrics directly. Counters map to TYPE counter, gauges to TYPE gauge,
+// histograms to TYPE histogram with the cumulative _bucket/_sum/_count
+// triple the format requires (Snapshot buckets are already cumulative).
+
+// PromContentType is the Content-Type of the exposition output.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm writes s in Prometheus text exposition format. Output is
+// deterministic: Snapshot is sorted, and labels render in sorted key order.
+func WriteProm(w io.Writer, s Snapshot) error {
+	// Group by metric name so each # TYPE header appears once even when a
+	// name has many label sets. Snapshot order is already name-sorted.
+	lastType := make(map[string]bool)
+	typeLine := func(name, typ string) string {
+		if lastType[name] {
+			return ""
+		}
+		lastType[name] = true
+		return fmt.Sprintf("# TYPE %s %s\n", promName(name), typ)
+	}
+
+	var b strings.Builder
+	for _, c := range s.Counters {
+		b.WriteString(typeLine(c.Name, "counter"))
+		fmt.Fprintf(&b, "%s%s %s\n", promName(c.Name), promLabels(c.Labels, "", 0), formatUint(c.Value))
+	}
+	for _, g := range s.Gauges {
+		b.WriteString(typeLine(g.Name, "gauge"))
+		fmt.Fprintf(&b, "%s%s %s\n", promName(g.Name), promLabels(g.Labels, "", 0), formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		b.WriteString(typeLine(h.Name, "histogram"))
+		name := promName(h.Name)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket%s %s\n",
+				name, promLabels(h.Labels, "le", float64(bk.LE)), formatUint(bk.Count))
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", name, promLabels(h.Labels, "", 0), formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %s\n", name, promLabels(h.Labels, "", 0), formatUint(h.Count))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry metric name to a legal Prometheus name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*, everything else becomes '_'.
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// promLabels renders a label set (plus an optional le bound for histogram
+// buckets) as {k="v",...}, keys sorted, values escaped per the format
+// (backslash, double-quote, newline).
+func promLabels(labels map[string]string, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range keys {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		if math.IsInf(le, +1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatFloat(le))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

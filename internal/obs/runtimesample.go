@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"runtime"
+	rtm "runtime/metrics"
+	"time"
+)
+
+// Runtime health sampling: a bridge from runtime/metrics and ReadMemStats
+// into the registry, so a /metrics scrape of a long-lived daemon carries
+// Go runtime vitals (heap, GC, goroutines, scheduling latency) next to the
+// domain counters. SampleRuntime is pull-driven — photon-serve calls it
+// per scrape — so an idle daemon costs nothing between scrapes.
+
+// runtimeSamples names the runtime/metrics series we export and the
+// registry gauges they become.
+var runtimeSamples = []struct {
+	src  string
+	dst  string
+	kind string // "gauge" (point value) or "total" (monotonic, still a gauge numerically)
+}{
+	{"/memory/classes/heap/objects:bytes", "go_heap_alloc_bytes", "gauge"},
+	{"/memory/classes/total:bytes", "go_mem_sys_bytes", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "total"},
+	{"/sched/goroutines:goroutines", "go_goroutines", "gauge"},
+	{"/sync/mutex/wait/total:seconds", "go_mutex_wait_seconds_total", "total"},
+}
+
+// SampleRuntime reads current Go runtime health into reg. Safe on a nil
+// registry. Exported series: go_heap_alloc_bytes, go_mem_sys_bytes,
+// go_gc_cycles_total, go_goroutines, go_mutex_wait_seconds_total,
+// go_gc_pause_seconds_total, and go_sched_latency_seconds{q="0.5"|"0.99"}.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	samples := make([]rtm.Sample, len(runtimeSamples)+1)
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.src
+	}
+	const schedLat = "/sched/latencies:seconds"
+	samples[len(samples)-1].Name = schedLat
+	rtm.Read(samples)
+
+	for i, rs := range runtimeSamples {
+		v := samples[i].Value
+		var f float64
+		switch v.Kind() {
+		case rtm.KindUint64:
+			f = float64(v.Uint64())
+		case rtm.KindFloat64:
+			f = v.Float64()
+		default:
+			continue
+		}
+		reg.Gauge(rs.dst).Set(f)
+	}
+	if h := samples[len(samples)-1].Value; h.Kind() == rtm.KindFloat64Histogram {
+		dist := h.Float64Histogram()
+		reg.Gauge("go_sched_latency_seconds", L("q", "0.5")).Set(histQuantile(dist, 0.5))
+		reg.Gauge("go_sched_latency_seconds", L("q", "0.99")).Set(histQuantile(dist, 0.99))
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("go_gc_pause_seconds_total").Set(float64(ms.PauseTotalNs) / 1e9)
+	reg.Gauge("go_heap_inuse_bytes").Set(float64(ms.HeapInuse))
+	reg.Gauge("go_next_gc_bytes").Set(float64(ms.NextGC))
+}
+
+// histQuantile extracts quantile q from a runtime/metrics histogram,
+// interpolating within the winning bucket.
+func histQuantile(h *rtm.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= target {
+			lo := h.Buckets[i]
+			hi := h.Buckets[i+1]
+			// Open-ended boundary buckets: report the finite edge.
+			if lo < 0 || lo != lo { // -Inf or NaN
+				return hi
+			}
+			if hi != hi || hi > 1e300 { // NaN or +Inf
+				return lo
+			}
+			return (lo + hi) / 2
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// ResourceSample is a point-in-time reading of process resource usage,
+// used in before/after pairs to attribute cost to one executed job.
+// CPUTime covers user+system time of the whole process; TotalAlloc and
+// HeapAlloc come from runtime.MemStats. Attribution is process-wide, so
+// deltas are exact when one job runs at a time (photon-serve's default
+// workers=1) and an upper bound under concurrency.
+type ResourceSample struct {
+	When       time.Time
+	CPUTime    time.Duration
+	TotalAlloc uint64
+	HeapAlloc  uint64
+}
+
+// TakeResourceSample reads the process's current resource usage.
+func TakeResourceSample() ResourceSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ResourceSample{
+		When:       time.Now(),
+		CPUTime:    processCPUTime(),
+		TotalAlloc: ms.TotalAlloc,
+		HeapAlloc:  ms.HeapAlloc,
+	}
+}
+
+// ResourceDelta is the attributed cost between two samples.
+type ResourceDelta struct {
+	Wall       time.Duration
+	CPUTime    time.Duration
+	AllocBytes uint64
+	// PeakHeapBytes is the larger of the two heap readings — a cheap
+	// stand-in for true peak tracking.
+	PeakHeapBytes uint64
+}
+
+// Delta computes end minus start.
+func (end ResourceSample) Delta(start ResourceSample) ResourceDelta {
+	d := ResourceDelta{
+		Wall:          end.When.Sub(start.When),
+		CPUTime:       end.CPUTime - start.CPUTime,
+		PeakHeapBytes: max(end.HeapAlloc, start.HeapAlloc),
+	}
+	if end.TotalAlloc > start.TotalAlloc {
+		d.AllocBytes = end.TotalAlloc - start.TotalAlloc
+	}
+	return d
+}

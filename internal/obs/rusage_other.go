@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable off unix; attribution degrades to zero CPU
+// time while wall and alloc deltas keep working.
+func processCPUTime() time.Duration { return 0 }

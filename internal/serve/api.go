@@ -86,6 +86,13 @@ type JobStatus struct {
 	QueueWaitMS float64    `json:"queue_wait_ms,omitempty"`
 	WallMS      float64    `json:"wall_ms,omitempty"`
 
+	// Resource attribution, filled when the execution finishes. The samples
+	// are process-wide, so the numbers are exact with one scheduler worker
+	// (the default) and an upper bound when executions overlap.
+	CPUTimeMS     float64 `json:"cpu_time_ms,omitempty"`
+	AllocBytes    uint64  `json:"alloc_bytes,omitempty"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes,omitempty"`
+
 	Error string `json:"error,omitempty"`
 }
 
@@ -103,18 +110,28 @@ type JobResult struct {
 	JobStatus
 	Output string `json:"output"`
 	JSONL  string `json:"jsonl,omitempty"`
+	// Accuracy is the per-kernel sampling-accuracy ledger (JSON lines, one
+	// AccuracyRecord per sampled kernel), also served raw at
+	// GET /v1/jobs/{id}/accuracy. Empty for runs with no sampled kernels.
+	Accuracy string `json:"accuracy,omitempty"`
 }
 
 // Event is one SSE message on GET /v1/jobs/{id}/events: state transitions,
-// engine/kernel spans relayed from the job's obs trace hook, and the final
-// result marker.
+// engine/kernel spans relayed from the job's obs trace hook, structured log
+// records scoped to the job, and the final result marker.
 type Event struct {
-	Type  string  `json:"type"`            // "state" | "span" | "result"
+	Type  string  `json:"type"`            // "state" | "span" | "log" | "result"
 	State string  `json:"state,omitempty"` // for "state" and "result"
 	Name  string  `json:"name,omitempty"`  // span name (job-3, MM/mm_tile, …)
 	Cat   string  `json:"cat,omitempty"`   // span category (engine-job, kernel)
 	DurMS float64 `json:"dur_ms,omitempty"`
 	Error string  `json:"error,omitempty"`
+
+	// Log-record fields ("log" events only): severity, message, and the
+	// record's attrs rendered as strings.
+	Level  string            `json:"level,omitempty"`
+	Msg    string            `json:"msg,omitempty"`
+	Fields map[string]string `json:"fields,omitempty"`
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.

@@ -3,6 +3,9 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"os"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -12,20 +15,30 @@ import (
 )
 
 // Output is what one execution produces: the text artifact (photon-bench
-// stdout) and the JSON-lines records (the -json artifact).
+// stdout), the JSON-lines records (the -json artifact), and the per-kernel
+// sampling-accuracy ledger (JSON lines, empty when nothing was sampled).
 type Output struct {
-	Text  string
-	JSONL string
+	Text     string
+	JSONL    string
+	Accuracy string
 }
 
 // Hooks is what the scheduler lends an executor for one run: the progress
 // sink feeding the job's SSE stream, the engine worker count, and the
-// process-wide shared state (baseline cache, metrics registry).
+// process-wide shared state (baseline cache, metrics registry, daemon
+// logger, flight recorder).
 type Hooks struct {
 	Progress  func(Event)
 	Parallel  int
 	Baselines *harness.BaselineCache
 	Metrics   *obs.Registry
+	// Log is the daemon's base logger; executors derive job-scoped loggers
+	// from it (and may fan records out to the job's SSE hub as well).
+	Log *obs.Logger
+	// Flight is the daemon's always-on event ring, shared across executions.
+	Flight *obs.FlightRecorder
+	// Job is the short request hash, for scoping log records.
+	Job string
 }
 
 // Executor runs one canonical request to completion. It must honor ctx —
@@ -55,6 +68,13 @@ type Config struct {
 	// Metrics receives the serve_* counters and, through the executor, all
 	// engine and simulator telemetry. Nil disables (nil-safe handles).
 	Metrics *obs.Registry
+	// Log receives scheduler lifecycle records (admissions at Debug, state
+	// changes at Debug, failures and drain at Info/Warn). Nil disables.
+	Log *obs.Logger
+	// Flight is the always-on bounded ring of recent scheduler events —
+	// admit/reject/coalesce/cache-hit, state transitions, drain phases —
+	// dumped via GET /debug/flight and on panic. Nil disables.
+	Flight *obs.FlightRecorder
 	// Baselines is shared by every job; nil allocates a fresh cache.
 	Baselines *harness.BaselineCache
 	// Executor runs jobs; nil uses HarnessExecutor(). Tests inject stubs.
@@ -104,6 +124,7 @@ type execution struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	res      obs.ResourceDelta // before/after attribution of the run
 }
 
 // job is one submission: a client-visible view onto an execution.
@@ -199,16 +220,24 @@ func (s *Scheduler) Submit(req JobRequest) (JobStatus, error) {
 		case StateDone:
 			j.cacheHit = true
 			s.mCacheHits.Inc()
+			s.cfg.Flight.RecordEvent(obs.FlightEvent{Kind: "sched", Job: j.id, Msg: "cache hit"})
 		default: // queued or running: ride along
 			j.coalesced = true
 			e.refs++
 			s.mCoalesced.Inc()
+			s.cfg.Flight.RecordEvent(obs.FlightEvent{Kind: "sched", Job: j.id, Msg: "coalesced onto in-flight execution"})
+		}
+		if s.cfg.Log.Enabled(slog.LevelDebug) {
+			s.cfg.Log.Debug("job attached to existing execution",
+				slog.String("job", j.id), slog.String("hash", short(hash)),
+				slog.Bool("cache_hit", j.cacheHit))
 		}
 		return s.statusLocked(j), nil
 	}
 
 	if s.draining {
 		s.mRejected.Inc()
+		s.cfg.Flight.RecordEvent(obs.FlightEvent{Kind: "sched", Msg: "rejected: draining"})
 		return JobStatus{}, ErrDraining
 	}
 
@@ -236,13 +265,29 @@ func (s *Scheduler) Submit(req JobRequest) (JobStatus, error) {
 	default:
 		cancel()
 		s.mRejected.Inc()
+		s.cfg.Flight.RecordEvent(obs.FlightEvent{Kind: "sched", Msg: "rejected: queue full"})
+		s.cfg.Log.Warn("job rejected: queue full")
 		return JobStatus{}, ErrQueueFull
 	}
 	s.execs[hash] = e
 	s.gQueueDepth.Set(float64(len(s.queue)))
 	j := s.newJobLocked(e)
 	e.hub.publish(Event{Type: "state", State: StateQueued})
+	s.cfg.Flight.RecordEvent(obs.FlightEvent{Kind: "sched", Job: j.id, Msg: "admitted", Value: float64(len(s.queue))})
+	if s.cfg.Log.Enabled(slog.LevelDebug) {
+		s.cfg.Log.Debug("job admitted",
+			slog.String("job", j.id), slog.String("hash", short(hash)),
+			slog.Int("queue_depth", len(s.queue)))
+	}
 	return s.statusLocked(j), nil
+}
+
+// short abbreviates a request hash for log records and flight events.
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
 }
 
 // newJobLocked mints a job id, attaches it to e and evicts old finished
@@ -298,13 +343,11 @@ func (s *Scheduler) runExecution(e *execution) {
 	s.mExecuted.Inc()
 	s.hQueueWait.Observe(e.started.Sub(e.created).Seconds())
 	e.hub.publish(Event{Type: "state", State: StateRunning})
+	s.cfg.Flight.RecordEvent(obs.FlightEvent{Kind: "sched", Job: short(e.hash), Msg: "running"})
 
-	out, err := s.cfg.Executor(e.ctx, e.req, Hooks{
-		Progress:  e.hub.publish,
-		Parallel:  e.parallel,
-		Baselines: s.cfg.Baselines,
-		Metrics:   s.cfg.Metrics,
-	})
+	before := obs.TakeResourceSample()
+	out, err := s.execute(e)
+	e.res = obs.TakeResourceSample().Delta(before)
 
 	s.mu.Lock()
 	state := StateDone
@@ -319,6 +362,38 @@ func (s *Scheduler) runExecution(e *execution) {
 	}
 	s.finishLocked(e, state, out, err)
 	s.mu.Unlock()
+}
+
+// execute invokes the executor with panic containment: a panicking job dumps
+// the flight ring to stderr (the crash context that would otherwise vanish
+// with the goroutine), then surfaces as an ordinary failure so the daemon
+// keeps serving. The harness engine already recovers panics inside its own
+// workers; this guards the executor plumbing around it.
+func (s *Scheduler) execute(e *execution) (out Output, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic in executor: %v", r)
+			s.cfg.Flight.RecordEvent(obs.FlightEvent{
+				Kind: "panic", Job: short(e.hash), Msg: fmt.Sprint(r),
+			})
+			s.cfg.Log.Error("executor panicked",
+				slog.String("hash", short(e.hash)), slog.String("panic", fmt.Sprint(r)))
+			fmt.Fprintf(os.Stderr, "photon-serve: executor panic on %s: %v\n%s",
+				short(e.hash), r, debug.Stack())
+			if s.cfg.Flight != nil {
+				_ = s.cfg.Flight.WriteText(os.Stderr)
+			}
+		}
+	}()
+	return s.cfg.Executor(e.ctx, e.req, Hooks{
+		Progress:  e.hub.publish,
+		Parallel:  e.parallel,
+		Baselines: s.cfg.Baselines,
+		Metrics:   s.cfg.Metrics,
+		Log:       s.cfg.Log,
+		Flight:    s.cfg.Flight,
+		Job:       short(e.hash),
+	})
 }
 
 // finishLocked moves e to a terminal state, updates the cache and metrics,
@@ -352,6 +427,30 @@ func (s *Scheduler) finishLocked(e *execution, state string, out Output, err err
 	}
 	if err != nil {
 		ev.Error = err.Error()
+	}
+	s.cfg.Flight.RecordEvent(obs.FlightEvent{
+		Kind: "sched", Job: short(e.hash), Msg: state,
+		Value: e.finished.Sub(e.created).Seconds(),
+	})
+	switch state {
+	case StateDone:
+		if s.cfg.Log.Enabled(slog.LevelInfo) {
+			s.cfg.Log.Info("execution finished",
+				slog.String("hash", short(e.hash)), slog.String("state", state),
+				slog.Duration("wall", e.finished.Sub(e.started)),
+				slog.Duration("cpu", e.res.CPUTime),
+				slog.Uint64("alloc_bytes", e.res.AllocBytes))
+		}
+	default:
+		if s.cfg.Log.Enabled(slog.LevelWarn) {
+			attrs := []slog.Attr{
+				slog.String("hash", short(e.hash)), slog.String("state", state),
+			}
+			if err != nil {
+				attrs = append(attrs, slog.String("error", err.Error()))
+			}
+			s.cfg.Log.Warn("execution did not complete", attrs...)
+		}
 	}
 	e.cancel() // release the timeout timer
 	close(e.done)
@@ -416,7 +515,12 @@ func (s *Scheduler) Result(id string) (JobResult, bool, error) {
 	if !st.Finished() {
 		return JobResult{JobStatus: st}, false, nil
 	}
-	return JobResult{JobStatus: st, Output: j.exec.out.Text, JSONL: j.exec.out.JSONL}, true, nil
+	return JobResult{
+		JobStatus: st,
+		Output:    j.exec.out.Text,
+		JSONL:     j.exec.out.JSONL,
+		Accuracy:  j.exec.out.Accuracy,
+	}, true, nil
 }
 
 // List returns every known job, oldest first.
@@ -485,6 +589,9 @@ func (s *Scheduler) statusLocked(j *job) JobStatus {
 		if !e.started.IsZero() {
 			st.WallMS = float64(e.finished.Sub(e.started).Microseconds()) / 1000
 		}
+		st.CPUTimeMS = float64(e.res.CPUTime.Microseconds()) / 1000
+		st.AllocBytes = e.res.AllocBytes
+		st.PeakHeapBytes = e.res.PeakHeapBytes
 	}
 	if e.err != nil {
 		st.Error = e.err.Error()
@@ -515,6 +622,8 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue) // Submit never sends once draining is set (same mutex)
+		s.cfg.Flight.Record("drain", "admission stopped; waiting for in-flight work")
+		s.cfg.Log.Info("draining: admission stopped")
 	}
 	s.mu.Unlock()
 
@@ -525,8 +634,12 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.cfg.Flight.Record("drain", "drained cleanly")
+		s.cfg.Log.Info("drained: all executions finished")
 		return nil
 	case <-ctx.Done():
+		s.cfg.Flight.Record("drain", "deadline hit; hard-cancelling executions")
+		s.cfg.Log.Warn("drain deadline hit; hard-cancelling remaining executions")
 		s.mu.Lock()
 		for _, e := range s.execs {
 			if e.state == StateQueued || e.state == StateRunning {
@@ -535,6 +648,11 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.cfg.Flight.Record("drain", "drained after hard cancel")
 		return ctx.Err()
 	}
 }
+
+// Flight exposes the scheduler's flight recorder (nil when disabled), for
+// the HTTP layer's /debug/flight and the daemon's signal-triggered dumps.
+func (s *Scheduler) Flight() *obs.FlightRecorder { return s.cfg.Flight }

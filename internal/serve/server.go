@@ -23,18 +23,26 @@ type Server struct {
 
 // NewServer wires the REST API around sched. reg is the registry /metrics
 // dumps — pass the same one given to the scheduler so serve_* counters,
-// engine telemetry and simulator stats land in one snapshot.
+// engine telemetry and simulator stats land in one snapshot. /metrics
+// serves JSON by default and Prometheus text exposition under content
+// negotiation, with Go runtime vitals sampled per scrape and the binary's
+// identity as a photon_build_info gauge.
 func NewServer(sched *Scheduler, reg *obs.Registry) *Server {
 	s := &Server{sched: sched, reg: reg, mux: http.NewServeMux()}
+	bi := buildinfo.Get()
+	reg.Gauge("photon_build_info",
+		obs.L("version", bi.Version), obs.L("revision", bi.Revision), obs.L("go", bi.Go)).Set(1)
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/accuracy", s.accuracy)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /readyz", s.readyz)
-	s.mux.Handle("GET /metrics", obs.Handler(reg))
+	s.mux.HandleFunc("GET /debug/flight", s.flight)
+	s.mux.Handle("GET /metrics", obs.HandlerWithSampler(reg, obs.SampleRuntime))
 	return s
 }
 
@@ -131,6 +139,48 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusInternalServerError, res)
 	}
+}
+
+// accuracy is GET /v1/jobs/{id}/accuracy: the job's per-kernel sampling-
+// accuracy ledger as raw JSON lines. 404 for unknown jobs, 409 while the
+// job is still running, 204 when the run produced no ledger (nothing was
+// sampled, or the job did not finish successfully).
+func (s *Server) accuracy(w http.ResponseWriter, r *http.Request) {
+	res, finished, err := s.sched.Result(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if !finished {
+		writeErr(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; poll again or stream /events", res.ID, res.State))
+		return
+	}
+	if res.Accuracy == "" {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fmt.Fprint(w, res.Accuracy)
+}
+
+// flight is GET /debug/flight: a dump of the daemon's flight recorder —
+// the bounded ring of recent scheduler/tier/job events. JSON by default;
+// ?format=text returns the same terminal-readable rendering the SIGQUIT
+// handler writes to stderr.
+func (s *Server) flight(w http.ResponseWriter, r *http.Request) {
+	f := s.sched.Flight()
+	if f == nil {
+		writeErr(w, http.StatusNotFound, errors.New("flight recorder disabled"))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = f.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = f.WriteJSON(w)
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {

@@ -18,6 +18,7 @@ type GPU struct {
 	cfg     Config
 	hier    *mem.Hierarchy
 	metrics *obs.Registry
+	log     *obs.Logger
 }
 
 // New builds a GPU from a configuration.
@@ -38,6 +39,10 @@ func (g *GPU) SetMetrics(reg *obs.Registry) {
 	g.hier.SetMetrics(reg)
 }
 
+// SetLog attaches a structured logger; every timing machine this GPU
+// creates emits a Debug run summary through it.
+func (g *GPU) SetLog(l *obs.Logger) { g.log = l }
+
 // WarpStoreBudget reports the structure-of-arrays warp-state footprint of
 // running l on this GPU: how many warp slots the timing machine's store is
 // sized to at launch time (the device's resident capacity, capped by the
@@ -56,6 +61,7 @@ func (g *GPU) RunDetailed(l *kernel.Launch, obs timing.Observer, gate func() boo
 	g.hier.Reset()
 	m := timing.NewMachine(g.cfg.Compute, g.hier, obs)
 	m.SetMetrics(g.metrics)
+	m.SetLog(g.log)
 	if gate != nil {
 		m.SetStopDispatch(gate)
 	}

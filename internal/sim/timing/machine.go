@@ -2,6 +2,7 @@ package timing
 
 import (
 	"fmt"
+	"log/slog"
 	"strconv"
 
 	"photon/internal/obs"
@@ -60,6 +61,7 @@ type Machine struct {
 	// atomic — and Run flushes them into the registry (when one is attached
 	// via SetMetrics) after the event loop drains.
 	metrics     *obs.Registry
+	log         *obs.Logger
 	issueCycles []uint64 // per CU: cycles the issue ports were occupied
 	issued      []uint64 // per CU: instructions issued
 	stallCycles []uint64 // per CU: cycles warps stalled at s_waitcnt
@@ -183,6 +185,11 @@ func (m *Machine) SetStopDispatch(f func() bool) { m.stopDispatch = f }
 // into it when the run drains.
 func (m *Machine) SetMetrics(reg *obs.Registry) { m.metrics = reg }
 
+// SetLog attaches a structured logger; Run emits one Debug record when the
+// event loop drains, summarizing the run (cycles, instructions, warps,
+// whether the dispatch gate fired).
+func (m *Machine) SetLog(l *obs.Logger) { m.log = l }
+
 // flushMetrics publishes the run's tallies. Counters aggregate across
 // kernels and across machines sharing one registry; the sums are
 // deterministic because the simulation itself is.
@@ -247,6 +254,15 @@ func (m *Machine) Run(l *kernel.Launch) (Result, error) {
 	if m.liveGroups != 0 {
 		return res, fmt.Errorf("timing: %s: %d workgroups still live after drain (deadlock?)",
 			l.Name, m.liveGroups)
+	}
+	if m.log.Enabled(slog.LevelDebug) {
+		m.log.Debug("timing run drained",
+			slog.String("kernel", l.Name),
+			slog.Uint64("cycles", uint64(res.EndTime)),
+			slog.Uint64("insts", res.InstCount),
+			slog.Int("warps", res.WarpsSimulated),
+			slog.Bool("complete", res.Complete),
+			slog.Bool("gated", m.gated))
 	}
 	return res, nil
 }
