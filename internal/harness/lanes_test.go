@@ -1,0 +1,323 @@
+package harness
+
+// Integration coverage for intra-run lane parallelism: the laned detailed
+// engine must produce lane-count-invariant results through the harness entry
+// points, publish its sim_lane_* telemetry into the shared artifacts, and
+// keep sweep output byte-identical for any requested lane count.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"photon/internal/obs"
+	"photon/internal/sim/gpu"
+	"photon/internal/workloads"
+)
+
+// laneGPU is testGPU with one CU per scalar block, so the laned machine can
+// split the four CUs into up to four lanes (testGPU's single scalar block
+// would clamp every request to one lane).
+func laneGPU() gpu.Config {
+	cfg := testGPU()
+	cfg.Name = "test-4cu-laned"
+	cfg.Memory.CUsPerScalarBlock = 1
+	return cfg
+}
+
+// runLanedApp runs the FIR benchmark full-detailed with an explicit lane
+// request (bypassing sweep-level arbitration, so multi-lane runs are
+// exercised even on a single-core host).
+func runLanedApp(t *testing.T, lanes int, ao AppObs) AppResult {
+	t.Helper()
+	app, err := workloads.BuildFIR(384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao.Lanes = lanes
+	res, err := RunAppInstrumented(t.Context(), laneGPU(), app, gpu.FullRunner{}, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRunAppLaneCountInvariance is the harness-level half of the laned
+// determinism contract: one, two and four lanes must agree byte-for-byte on
+// every reported quantity, and the serial engine must agree functionally
+// (instruction counts; cycles legitimately differ because shared-L2
+// arbitration order differs between the two engines).
+func TestRunAppLaneCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several detailed simulations")
+	}
+	one := runLanedApp(t, 1, AppObs{})
+	two := runLanedApp(t, 2, AppObs{})
+	four := runLanedApp(t, 4, AppObs{})
+	one.Wall, two.Wall, four.Wall = 0, 0, 0
+	for i := range one.PerKernel {
+		one.PerKernel[i].Wall, two.PerKernel[i].Wall, four.PerKernel[i].Wall = 0, 0, 0
+	}
+	if !reflect.DeepEqual(one, two) {
+		t.Fatalf("1-lane and 2-lane results differ:\n1: %+v\n2: %+v", one, two)
+	}
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("1-lane and 4-lane results differ:\n1: %+v\n4: %+v", one, four)
+	}
+	serial := runLanedApp(t, 0, AppObs{})
+	if serial.Insts != one.Insts {
+		t.Fatalf("serial engine executed %d insts, laned %d", serial.Insts, one.Insts)
+	}
+	if serial.KernelTime == 0 || one.KernelTime == 0 {
+		t.Fatal("zero kernel time")
+	}
+}
+
+// TestLanedRunArtifacts asserts the per-lane telemetry reaches the shared
+// artifacts: sim_lane_* metric families in the registry snapshot and one
+// named per-lane thread with a complete span in the Chrome trace.
+func TestLanedRunArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a detailed simulation")
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTraceBuffer()
+	runLanedApp(t, 2, AppObs{Metrics: reg, Trace: tr, TID: 3})
+
+	snap := reg.Snapshot()
+	laneBusy := map[string]bool{}
+	for _, c := range snap.Counters {
+		if c.Name == "sim_lane_busy_cycles" {
+			laneBusy[c.Labels["lane"]] = true
+		}
+	}
+	if !laneBusy["0"] || !laneBusy["1"] || len(laneBusy) != 2 {
+		t.Fatalf("sim_lane_busy_cycles lanes = %v, want exactly {0, 1}", laneBusy)
+	}
+	if snap.SumCounters("sim_lane_quanta") == 0 {
+		t.Fatal("sim_lane_quanta missing from snapshot")
+	}
+	lanesGauge := false
+	for _, g := range snap.Gauges {
+		if g.Name == "sim_lanes" {
+			if g.Value != 2 {
+				t.Fatalf("sim_lanes = %v, want 2", g.Value)
+			}
+			lanesGauge = true
+		}
+	}
+	if !lanesGauge {
+		t.Fatal("sim_lanes gauge missing from snapshot")
+	}
+	waitHists := map[string]bool{}
+	for _, h := range snap.Histograms {
+		if h.Name == "sim_lane_barrier_wait_cycles" {
+			waitHists[h.Labels["lane"]] = true
+		}
+	}
+	if !waitHists["0"] || !waitHists["1"] {
+		t.Fatalf("sim_lane_barrier_wait_cycles lanes = %v, want 0 and 1", waitHists)
+	}
+	// The merged per-CU and per-class counters must survive the laned path:
+	// four CUs' issue cycles, not one blob.
+	perCU := map[string]bool{}
+	for _, c := range snap.Counters {
+		if c.Name == "sim_cu_issue_cycles" {
+			perCU[c.Labels["cu"]] = true
+		}
+	}
+	if len(perCU) != 4 {
+		t.Fatalf("per-CU issue cycles from %d CUs, want 4 (%v)", len(perCU), perCU)
+	}
+
+	var traceJSON bytes.Buffer
+	if err := tr.WriteJSON(&traceJSON); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(traceJSON.Bytes(), &events); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+	threadNames := map[string]bool{}
+	laneSpans := 0
+	for _, e := range events {
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			if args, ok := e["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					threadNames[n] = true
+				}
+			}
+		}
+		if e["ph"] == "X" && e["cat"] == "lane" {
+			laneSpans++
+		}
+	}
+	if !threadNames["lane 0"] || !threadNames["lane 1"] {
+		t.Fatalf("per-lane thread names missing from trace (saw %v)", threadNames)
+	}
+	// One span per lane per kernel launch.
+	if laneSpans == 0 || laneSpans%2 != 0 {
+		t.Fatalf("lane spans = %d, want a positive multiple of 2", laneSpans)
+	}
+}
+
+// runLanedDetSweep runs the determinism sweep with an intra-run lane request
+// arbitrated through the normal Options path.
+func runLanedDetSweep(t *testing.T, lanes, parallel int) (string, []Record, *BaselineCache) {
+	t.Helper()
+	var text, jsonBuf bytes.Buffer
+	o := DefaultOptions()
+	o.Parallel = parallel
+	o.Lanes = lanes
+	o.FixedWall = true
+	o.JSON = NewJSONSink(&jsonBuf)
+	o.Baselines = NewBaselineCache()
+	if err := o.RunSweep(&text, detSweep(o)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text.String(), recs, o.Baselines
+}
+
+// TestLanedSweepLaneRequestInvariance runs the same sweep with different lane
+// requests (explicit counts and auto) and demands byte-identical rows and
+// records — the sweep-level statement of the any-lane-count guarantee, and
+// the property that lets CI compare -lanes runs with cmp regardless of the
+// runner's core count.
+func TestLanedSweepLaneRequestInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full simulations")
+	}
+	text1, recs1, cache1 := runLanedDetSweep(t, 1, 1)
+	text8, recs8, _ := runLanedDetSweep(t, 8, 1)
+	textAuto, recsAuto, _ := runLanedDetSweep(t, -1, 2)
+	if text1 != text8 {
+		t.Fatalf("lanes=1 and lanes=8 rows differ:\n--- 1 ---\n%s--- 8 ---\n%s", text1, text8)
+	}
+	if text1 != textAuto {
+		t.Fatalf("lanes=1 and lanes=auto rows differ:\n--- 1 ---\n%s--- auto ---\n%s", text1, textAuto)
+	}
+	if !reflect.DeepEqual(recs1, recs8) || !reflect.DeepEqual(recs1, recsAuto) {
+		t.Fatal("JSON records differ across lane requests")
+	}
+	// Laned baselines occupy their own cache entries: two points, each
+	// simulated exactly once despite three runners sharing it.
+	if cache1.Simulated() != 2 {
+		t.Fatalf("baseline cache simulated %d cells, want 2", cache1.Simulated())
+	}
+}
+
+// The laned golden files pin the fig13 quick sweep's output under the
+// quantum-laned detailed engine. They differ from the serial goldens (the
+// two engines order shared-L2 traffic differently) but must be identical for
+// every -lanes request — CI regenerates them at -lanes 1 and -lanes 4 and
+// byte-compares both against these files.
+const (
+	lanedGoldenTxt   = "testdata/fig13_quick_lanes.golden.txt"
+	lanedGoldenJSONL = "testdata/fig13_quick_lanes.golden.jsonl"
+)
+
+// TestFig13LanedGoldenArtifacts validates the committed laned goldens the
+// same way TestFig13GoldenArtifacts validates the serial ones, and pins the
+// one property connecting the two sets: identical sweep shape.
+func TestFig13LanedGoldenArtifacts(t *testing.T) {
+	jf, err := os.Open(filepath.FromSlash(lanedGoldenJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	recs, err := ReadRecords(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs)%3 != 0 {
+		t.Fatalf("laned golden has %d records, want a positive multiple of 3", len(recs))
+	}
+	txt, err := os.ReadFile(filepath.FromSlash(lanedGoldenTxt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(txt), "\n"), "\n")
+	if want := 2 + len(recs); len(lines) != want {
+		t.Fatalf("laned golden txt has %d lines, want %d (2 header + %d rows)", len(lines), want, len(recs))
+	}
+	wantOrder := []string{"full", "pka", "photon"}
+	for i, r := range recs {
+		if r.Experiment != "fig13" {
+			t.Fatalf("record %d experiment = %q, want fig13", i, r.Experiment)
+		}
+		if r.Runner != wantOrder[i%3] {
+			t.Fatalf("record %d runner = %q, want %q (plan order)", i, r.Runner, wantOrder[i%3])
+		}
+		if r.Runner == "full" && r.SimCycles != r.FullCycles {
+			t.Fatalf("record %d: full runner sim_cycles %d != full_cycles %d", i, r.SimCycles, r.FullCycles)
+		}
+	}
+	// Same sweep, same shape: the laned goldens must cover exactly the
+	// benchmarks and sizes of the serial goldens, in the same order.
+	sf, err := os.Open(filepath.FromSlash(goldenJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	serial, err := ReadRecords(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(recs) {
+		t.Fatalf("laned golden has %d records, serial golden %d", len(recs), len(serial))
+	}
+	for i := range recs {
+		if recs[i].Bench != serial[i].Bench || recs[i].Size != serial[i].Size || recs[i].Runner != serial[i].Runner {
+			t.Fatalf("record %d: laned (%s,%d,%s) != serial (%s,%d,%s)", i,
+				recs[i].Bench, recs[i].Size, recs[i].Runner,
+				serial[i].Bench, serial[i].Size, serial[i].Runner)
+		}
+	}
+}
+
+// TestFig13LanedMatchesGolden re-runs the fig13 quick sweep on the laned
+// engine and byte-compares both artifacts against the laned goldens. Like
+// its serial sibling it is opt-in via PHOTON_GOLDEN (CI's bench job sets
+// it). The lane request is deliberately larger than most hosts resolve —
+// lane-count invariance means the bytes must not depend on what LaneBudget
+// grants.
+func TestFig13LanedMatchesGolden(t *testing.T) {
+	if os.Getenv("PHOTON_GOLDEN") == "" {
+		t.Skip("full fig13 sweep takes ~1 min; set PHOTON_GOLDEN=1 to run")
+	}
+	var txt, jsonl bytes.Buffer
+	o := DefaultOptions()
+	o.Quick = true
+	o.FixedWall = true
+	o.Parallel = 1
+	o.Lanes = 8
+	o.Baselines = NewBaselineCache()
+	o.JSON = NewJSONSink(&jsonl)
+	if err := Fig13(&txt, o); err != nil {
+		t.Fatal(err)
+	}
+	txt.WriteByte('\n')
+
+	wantTxt, err := os.ReadFile(filepath.FromSlash(lanedGoldenTxt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(txt.Bytes(), wantTxt) {
+		t.Errorf("laned fig13 text output drifted from golden:\n%s", diffHint(txt.Bytes(), wantTxt))
+	}
+	wantJSONL, err := os.ReadFile(filepath.FromSlash(lanedGoldenJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonl.Bytes(), wantJSONL) {
+		t.Errorf("laned fig13 JSONL records drifted from golden:\n%s", diffHint(jsonl.Bytes(), wantJSONL))
+	}
+}

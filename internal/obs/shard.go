@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds the lane-local metric shards used by the quantum-laned
+// timing engine. Lanes run on separate goroutines inside one Machine.Run;
+// letting them bump shared atomic metric handles directly would serialize
+// hot paths on cache-line contention (and registry lookups on the mutex).
+// A shard is a plain, single-goroutine accumulator a lane owns outright;
+// the coordinator flushes every shard into the shared handles once, at a
+// quantum barrier or at run end, where it holds exclusive access anyway.
+// Flush establishes its happens-before edge through the lane barrier, so
+// shards need no atomics at all.
+
+// CounterShard is a lane-local, atomics-free counter accumulator.
+type CounterShard struct {
+	n uint64
+}
+
+// Inc adds one.
+func (s *CounterShard) Inc() { s.n++ }
+
+// Add adds n.
+func (s *CounterShard) Add(n uint64) { s.n += n }
+
+// Value returns the unflushed count.
+func (s *CounterShard) Value() uint64 { return s.n }
+
+// FlushTo drains the shard into c (nil-safe) and resets it.
+func (s *CounterShard) FlushTo(c *Counter) {
+	if s.n == 0 {
+		return
+	}
+	c.Add(s.n)
+	s.n = 0
+}
+
+// HistogramShard is a lane-local, atomics-free histogram accumulator with
+// the same bucket layout as the Histogram it flushes into.
+type HistogramShard struct {
+	bounds  []float64
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+// NewShard returns a shard with this histogram's bucket bounds. Nil
+// histograms yield a nil shard, whose methods are no-ops — the same
+// "telemetry off" convention as the handles themselves.
+func (h *Histogram) NewShard() *HistogramShard {
+	if h == nil {
+		return nil
+	}
+	return &HistogramShard{
+		bounds:  h.bounds,
+		buckets: make([]uint64, len(h.buckets)),
+	}
+}
+
+// Observe records one sample.
+func (s *HistogramShard) Observe(v float64) {
+	if s == nil {
+		return
+	}
+	s.buckets[sort.SearchFloat64s(s.bounds, v)]++
+	s.count++
+	s.sum += v
+}
+
+// Count returns the number of unflushed observations.
+func (s *HistogramShard) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// FlushTo drains the shard into h and resets it. h must have the bucket
+// layout the shard was created from.
+func (s *HistogramShard) FlushTo(h *Histogram) {
+	if s == nil || s.count == 0 {
+		return
+	}
+	if h != nil {
+		for i, n := range s.buckets {
+			if n != 0 {
+				h.buckets[i].Add(n)
+			}
+		}
+		h.count.Add(s.count)
+		for {
+			old := h.sumBits.Load()
+			next := math.Float64bits(math.Float64frombits(old) + s.sum)
+			if h.sumBits.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+	for i := range s.buckets {
+		s.buckets[i] = 0
+	}
+	s.count = 0
+	s.sum = 0
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterShardFlush(t *testing.T) {
+	var c Counter
+	var s CounterShard
+	s.Inc()
+	s.Add(41)
+	if got := s.Value(); got != 42 {
+		t.Fatalf("shard value = %d, want 42", got)
+	}
+	s.FlushTo(&c)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter after flush = %d, want 42", got)
+	}
+	if got := s.Value(); got != 0 {
+		t.Fatalf("shard not reset after flush: %d", got)
+	}
+	s.FlushTo(nil) // empty flush into nil counter must be a no-op
+	s.Inc()
+	s.FlushTo(nil) // nil-safe via Counter's nil-safe Add
+	if got := s.Value(); got != 0 {
+		t.Fatalf("shard not reset after nil flush: %d", got)
+	}
+}
+
+func TestHistogramShardMatchesDirect(t *testing.T) {
+	reg := NewRegistry()
+	bounds := ExpBuckets(1, 2, 8)
+	direct := reg.Histogram("direct", bounds)
+	sharded := reg.Histogram("sharded", bounds)
+
+	shard := sharded.NewShard()
+	for i := 0; i < 500; i++ {
+		v := float64(i%300) + 0.5
+		direct.Observe(v)
+		shard.Observe(v)
+	}
+	shard.FlushTo(sharded)
+	if shard.Count() != 0 {
+		t.Fatalf("shard not reset after flush: count=%d", shard.Count())
+	}
+
+	if direct.Count() != sharded.Count() || direct.Sum() != sharded.Sum() {
+		t.Fatalf("count/sum mismatch: direct (%d, %v) vs sharded (%d, %v)",
+			direct.Count(), direct.Sum(), sharded.Count(), sharded.Sum())
+	}
+	for i := range direct.buckets {
+		if direct.buckets[i].Load() != sharded.buckets[i].Load() {
+			t.Fatalf("bucket %d mismatch: %d vs %d",
+				i, direct.buckets[i].Load(), sharded.buckets[i].Load())
+		}
+	}
+}
+
+func TestNilHistogramShard(t *testing.T) {
+	var h *Histogram
+	s := h.NewShard()
+	if s != nil {
+		t.Fatal("nil histogram must yield nil shard")
+	}
+	s.Observe(1) // must not panic
+	if s.Count() != 0 {
+		t.Fatal("nil shard count must be 0")
+	}
+	s.FlushTo(nil) // must not panic
+}
+
+// TestShardObserveZeroAlloc is the satellite guarantee: lane-local metric
+// updates never touch the allocator, so multi-lane runs add no GC pressure
+// over serial.
+func TestShardObserveZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", ExpBuckets(1, 2, 14))
+	shard := h.NewShard()
+	var cnt CounterShard
+	allocs := testing.AllocsPerRun(1000, func() {
+		cnt.Inc()
+		cnt.Add(3)
+		shard.Observe(17)
+	})
+	if allocs != 0 {
+		t.Fatalf("shard updates allocate: %v allocs/op", allocs)
+	}
+}
+
+// TestShardConcurrentFlush exercises the multi-lane pattern under -race:
+// each goroutine owns its shards exclusively, flushes are concurrent but
+// target atomic handles, and the total must come out exact.
+func TestShardConcurrentFlush(t *testing.T) {
+	reg := NewRegistry()
+	total := reg.Counter("total")
+	hist := reg.Histogram("lat", ExpBuckets(1, 2, 8))
+
+	const lanes = 8
+	const perLane = 10_000
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var c CounterShard
+			s := hist.NewShard()
+			for i := 0; i < perLane; i++ {
+				c.Inc()
+				s.Observe(float64(i % 100))
+			}
+			c.FlushTo(total)
+			s.FlushTo(hist)
+		}()
+	}
+	wg.Wait()
+
+	if got := total.Value(); got != lanes*perLane {
+		t.Fatalf("counter total = %d, want %d", got, lanes*perLane)
+	}
+	if got := hist.Count(); got != lanes*perLane {
+		t.Fatalf("histogram count = %d, want %d", got, lanes*perLane)
+	}
+}

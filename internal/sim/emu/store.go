@@ -22,6 +22,15 @@ const (
 	flagSCC                       // scalar condition code
 )
 
+// Memory is the functional-memory surface warps execute against. The
+// serial paths bind the launch's *mem.Flat directly; the quantum-laned
+// engine binds a per-lane *mem.FlatView so concurrent lanes never share
+// Flat's unlocked page cache.
+type Memory interface {
+	Read32(addr uint64) uint32
+	Write32(addr uint64, v uint32)
+}
+
 // WarpStore holds the architectural state of many warps in
 // structure-of-arrays form: one contiguous backing array per field, indexed
 // by warp slot, plus a single shared slab each for SGPRs, VGPRs and BBV
@@ -36,6 +45,17 @@ const (
 // concurrent use — the parallel harness gives each job its own.
 type WarpStore struct {
 	launch *kernel.Launch
+
+	// mem is the functional memory warps read and write; Configure resets it
+	// to the launch's Flat, SetMemView overrides it for laned execution.
+	mem Memory
+
+	// deferAtomics makes atomicMem capture its per-lane (addr, value, lane)
+	// triples into the scratch buffers instead of performing the RMW, so the
+	// laned coordinator can apply global atomics at the quantum barrier in
+	// deterministic order (atomics execute at the L2 coherence point, which
+	// lanes never touch mid-quantum).
+	deferAtomics bool
 
 	// Per-slot strides into the shared slabs.
 	sregs  int // SGPR words per slot
@@ -67,6 +87,11 @@ type WarpStore struct {
 	// store (not per warp): Step's caller consumes the addresses before the
 	// next Step on the same store, so sharing it saves 512 bytes per slot.
 	addrBuf [kernel.WavefrontSize]uint64
+
+	// atomVal/atomLane are the deferred-atomic scratch buffers
+	// StepInfo.AtomicVals/AtomicLanes alias, with addrBuf's lifetime rules.
+	atomVal  [kernel.WavefrontSize]uint32
+	atomLane [kernel.WavefrontSize]uint8
 }
 
 // NewWarpStore builds a store for the launch with the given slot capacity.
@@ -87,6 +112,8 @@ func (s *WarpStore) Configure(l *kernel.Launch, slots int) {
 	}
 	p := l.Program
 	s.launch = l
+	s.mem = l.Memory
+	s.deferAtomics = false
 	s.sregs = max(p.NumSRegs, kernel.ArgSGPRBase+len(l.Args))
 	s.vwords = p.NumVRegs * kernel.WavefrontSize
 	s.blocks = p.NumBlocks()
@@ -153,6 +180,15 @@ func (s *WarpStore) Alloc() int {
 func (s *WarpStore) Release(slot int) {
 	s.free = append(s.free, int32(slot))
 }
+
+// SetMemView overrides the functional memory the store's warps execute
+// against (call after Configure, which resets it to the launch's Flat).
+func (s *WarpStore) SetMemView(m Memory) { s.mem = m }
+
+// SetDeferAtomics switches atomic instructions into capture mode: Step
+// records (addr, value, lane) triples without touching memory, and the
+// caller applies them later via Warp.ApplyAtomic.
+func (s *WarpStore) SetDeferAtomics(v bool) { s.deferAtomics = v }
 
 // Slots returns the allocated slot capacity.
 func (s *WarpStore) Slots() int { return s.slots }

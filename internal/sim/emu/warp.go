@@ -42,6 +42,13 @@ type StepInfo struct {
 	SAddr    uint64   // address for scalar loads
 	EnteredB bool     // this instruction is the first of a basic block
 	BlockIdx int      // static basic-block index containing the instruction
+
+	// AtomicVals/AtomicLanes are the captured per-lane operand values and
+	// lane indices of a deferred atomic (SetDeferAtomics mode). They alias
+	// store scratch with Addrs' lifetime; the caller must copy them before
+	// the next Step and replay them through Warp.ApplyAtomic.
+	AtomicVals  []uint32
+	AtomicLanes []uint8
 }
 
 // Warp is a handle to one wavefront's architectural state: a slot in a
@@ -305,7 +312,7 @@ func (w *Warp) Step(info *StepInfo) {
 	// ---- memory ----
 	case isa.OpSLoad:
 		addr := uint64(w.sread(sgpr, in.Src0)) + uint64(int64(in.Offset))
-		sgpr[in.Dst.Idx] = w.Launch.Memory.Read32(addr)
+		sgpr[in.Dst.Idx] = st.mem.Read32(addr)
 		info.Kind = StepScalarMem
 		info.SAddr = addr
 	case isa.OpVLoad:
@@ -493,7 +500,7 @@ func (w *Warp) vectorMem(in *isa.Inst, info *StepInfo, sgpr []uint32, store bool
 		dst = vdst(vgpr, in.Dst)
 	}
 	n := 0
-	memArena := w.Launch.Memory
+	memArena := st.mem
 	for lane := 0; lane < kernel.WavefrontSize; lane++ {
 		if exec&(1<<uint(lane)) == 0 {
 			continue
@@ -521,12 +528,29 @@ func (w *Warp) atomicMem(in *isa.Inst, info *StepInfo, sgpr []uint32) {
 	exec := st.exec[w.slot]
 	la, ba := vsrc(sgpr, vgpr, in.Src0)
 	lval, bval := vsrc(sgpr, vgpr, in.Src1)
+	if st.deferAtomics {
+		n := 0
+		for lane := 0; lane < kernel.WavefrontSize; lane++ {
+			if exec&(1<<uint(lane)) == 0 {
+				continue
+			}
+			st.addrBuf[n] = uint64(lv(la, ba, lane)) + uint64(int64(in.Offset))
+			st.atomVal[n] = lv(lval, bval, lane)
+			st.atomLane[n] = uint8(lane)
+			n++
+		}
+		info.Addrs = st.addrBuf[:n]
+		info.AtomicVals = st.atomVal[:n]
+		info.AtomicLanes = st.atomLane[:n]
+		st.outMem[w.slot]++
+		return
+	}
 	var dst []uint32
 	if in.Dst.Kind == isa.OperandVReg {
 		dst = vdst(vgpr, in.Dst)
 	}
 	n := 0
-	memArena := w.Launch.Memory
+	memArena := st.mem
 	for lane := 0; lane < kernel.WavefrontSize; lane++ {
 		if exec&(1<<uint(lane)) == 0 {
 			continue
@@ -536,23 +560,7 @@ func (w *Warp) atomicMem(in *isa.Inst, info *StepInfo, sgpr []uint32) {
 		n++
 		old := memArena.Read32(addr)
 		val := lv(lval, bval, lane)
-		var next uint32
-		switch in.Op {
-		case isa.OpVAtomicAdd:
-			next = old + val
-		case isa.OpVAtomicMax:
-			next = old
-			if sext(val) > sext(old) {
-				next = val
-			}
-		case isa.OpVAtomicMin:
-			next = old
-			if sext(val) < sext(old) {
-				next = val
-			}
-		case isa.OpVAtomicFAdd:
-			next = bits32(f32(old) + f32(val))
-		}
+		next := atomicRMW(in.Op, old, val)
 		memArena.Write32(addr, next)
 		if dst != nil {
 			dst[lane] = old
@@ -560,6 +568,49 @@ func (w *Warp) atomicMem(in *isa.Inst, info *StepInfo, sgpr []uint32) {
 	}
 	info.Addrs = st.addrBuf[:n]
 	st.outMem[w.slot]++
+}
+
+// atomicRMW computes the next memory value of one atomic lane.
+func atomicRMW(op isa.Op, old, val uint32) uint32 {
+	switch op {
+	case isa.OpVAtomicAdd:
+		return old + val
+	case isa.OpVAtomicMax:
+		if sext(val) > sext(old) {
+			return val
+		}
+		return old
+	case isa.OpVAtomicMin:
+		if sext(val) < sext(old) {
+			return val
+		}
+		return old
+	case isa.OpVAtomicFAdd:
+		return bits32(f32(old) + f32(val))
+	}
+	panic(fmt.Sprintf("emu: atomicRMW on non-atomic op %s", op))
+}
+
+// ApplyAtomic replays a deferred atomic captured by Step under
+// SetDeferAtomics: the read-modify-writes execute now, in the given lane
+// order, and the old values land in the destination register if the
+// instruction names one. The timing machine calls this at the quantum
+// barrier at the operation's deterministic completion slot; destination
+// writes landing after issue match hardware's asynchronous writeback, which
+// well-formed programs order with s_waitcnt before reuse.
+func (w *Warp) ApplyAtomic(in *isa.Inst, addrs []uint64, vals []uint32, lanes []uint8) {
+	st := w.store
+	var dst []uint32
+	if in.Dst.Kind == isa.OperandVReg {
+		dst = vdst(w.vregs(), in.Dst)
+	}
+	for i, addr := range addrs {
+		old := st.mem.Read32(addr)
+		st.mem.Write32(addr, atomicRMW(in.Op, old, vals[i]))
+		if dst != nil {
+			dst[lanes[i]] = old
+		}
+	}
 }
 
 func (w *Warp) ldsAccess(in *isa.Inst, info *StepInfo, sgpr []uint32, store bool) {

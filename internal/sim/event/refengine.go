@@ -12,6 +12,7 @@ type RefEngine struct {
 	seq    uint64
 	queue  refHeap
 	events uint64
+	lastAt Time
 }
 
 type refHeap []item
@@ -58,11 +59,35 @@ func (e *RefEngine) After(delay Time, handler Handler) {
 	e.Schedule(e.now+delay, handler)
 }
 
+// NextAt returns the timestamp of the earliest pending event, if any.
+func (e *RefEngine) NextAt() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t without firing anything, with the
+// same semantics as Engine.AdvanceTo.
+func (e *RefEngine) AdvanceTo(t Time) {
+	if t <= e.now {
+		return
+	}
+	if len(e.queue) > 0 && e.queue[0].at < t {
+		panic("event: AdvanceTo would skip past a pending event")
+	}
+	e.now = t
+}
+
+// LastAt returns the timestamp of the most recently fired event.
+func (e *RefEngine) LastAt() Time { return e.lastAt }
+
 // Run executes events until the queue drains, then returns the final time.
 func (e *RefEngine) Run() Time {
 	for len(e.queue) > 0 {
 		it := heap.Pop(&e.queue).(item)
 		e.now = it.at
+		e.lastAt = it.at
 		e.events++
 		it.handler(e.now)
 	}
@@ -79,6 +104,7 @@ func (e *RefEngine) RunUntil(deadline Time) bool {
 		}
 		it := heap.Pop(&e.queue).(item)
 		e.now = it.at
+		e.lastAt = it.at
 		e.events++
 		it.handler(e.now)
 	}
@@ -92,6 +118,7 @@ func (e *RefEngine) Step() bool {
 	}
 	it := heap.Pop(&e.queue).(item)
 	e.now = it.at
+	e.lastAt = it.at
 	e.events++
 	it.handler(e.now)
 	return true

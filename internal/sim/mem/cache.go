@@ -212,6 +212,67 @@ func (c *Cache) Access(now event.Time, lineAddr uint64, write bool) event.Time {
 	return fillDone
 }
 
+// accessAsync is Access for the quantum-laned path: identical tag/LRU/port
+// arithmetic, but instead of calling into the lower level synchronously, a
+// miss records its fill (and any victim writeback) on the lane port for the
+// coordinator to drain into the shared L2/DRAM at the next quantum barrier.
+// It also skips the shared registry-backed metrics entirely — those handles
+// are atomics common to every lane, and bumping them here would put
+// cache-line contention on the hottest loop in the simulator. The plain
+// per-cache counters (lane-owned, uncontended) keep counting; the laned
+// runner folds them into the registry once per run via FlushLaneTelemetry.
+//
+// Returns (done, false) when the access completed in-level (a hit), or
+// (0, true) when the fill was deferred; resolve will then be called at the
+// barrier with the completion time.
+func (c *Cache) accessAsync(now event.Time, lineAddr uint64, write bool, cu int, p *LanePort, resolve func(event.Time)) (event.Time, bool) {
+	c.accesses++
+
+	start := now
+	if c.portFree > start {
+		start = c.portFree
+	}
+	c.portFree = start + c.cfg.ThroughputCycles
+
+	setIdx := ((lineAddr / LineSize) >> c.cfg.IndexShift) & c.setMask
+	tag := lineAddr / LineSize
+	set := c.sets[setIdx]
+	c.lruClock++
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.hits++
+			set[i].lru = c.lruClock
+			if write {
+				set[i].dirty = true
+			}
+			return start + c.cfg.HitLatency, false
+		}
+	}
+
+	c.misses++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.evictions++
+		if set[victim].dirty {
+			c.writebacks++
+			p.record(start+c.cfg.HitLatency, cu, set[victim].tag*LineSize, true, false, nil)
+		}
+	}
+	p.record(start+c.cfg.HitLatency, cu, lineAddr, false, false, resolve)
+	set[victim] = cacheLine{tag: tag, valid: true, dirty: write, lru: c.lruClock}
+	return 0, true
+}
+
 // Contains reports whether the line holding lineAddr is currently resident
 // (no LRU update, no timing side effects). Tests use it to verify fills.
 func (c *Cache) Contains(lineAddr uint64) bool {

@@ -1,0 +1,302 @@
+package timing
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"photon/internal/obs"
+	"photon/internal/sim/emu"
+	"photon/internal/sim/event"
+	"photon/internal/sim/isa"
+	"photon/internal/sim/kernel"
+	"photon/internal/sim/mem"
+)
+
+// streamObserver renders every callback into a line, capturing the exact
+// observer stream (order, times, arguments) for cross-run comparison.
+type streamObserver struct{ lines []string }
+
+func (o *streamObserver) OnWarpStart(now event.Time, w *emu.Warp) {
+	o.lines = append(o.lines, fmt.Sprintf("start t=%d w%d", now, w.GlobalID))
+}
+
+func (o *streamObserver) OnWarpRetired(now event.Time, w *emu.Warp, issue event.Time) {
+	o.lines = append(o.lines, fmt.Sprintf("retire t=%d w%d issue=%d", now, w.GlobalID, issue))
+}
+
+func (o *streamObserver) OnInstIssued(now event.Time, cuID int, w *emu.Warp, c isa.FUClass, lat event.Time) {
+	o.lines = append(o.lines, fmt.Sprintf("inst t=%d cu%d w%d class=%d lat=%d", now, cuID, w.GlobalID, c, lat))
+}
+
+func (o *streamObserver) OnBlockRetired(now event.Time, w *emu.Warp, b int, enter, exit event.Time) {
+	o.lines = append(o.lines, fmt.Sprintf("block t=%d w%d b%d %d..%d", now, w.GlobalID, b, enter, exit))
+}
+
+func runLaned(t *testing.T, numCUs, lanes int, l *kernel.Launch, o Observer) Result {
+	t.Helper()
+	lm := NewLanedMachine(DefaultCompute(numCUs), testHier(numCUs), o, lanes)
+	res, err := lm.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// region is a flat-memory span checked for cross-run equality.
+type region struct {
+	base  uint64
+	words int
+}
+
+func readRegions(l *kernel.Launch, regs []region) []uint32 {
+	var out []uint32
+	for _, r := range regs {
+		for i := 0; i < r.words; i++ {
+			out = append(out, l.Memory.Read32(r.base+uint64(4*i)))
+		}
+	}
+	return out
+}
+
+// atomicLaunch builds a kernel where every warp atomically increments the
+// same 64 shared counters (cross-CU, hence cross-lane, contention) and
+// stores the returned old value to a private slot. The old values depend on
+// the atomic apply order, so this kernel detects any nondeterminism in the
+// barrier drain.
+func atomicLaunch(warps int) (*kernel.Launch, []region) {
+	b := isa.NewBuilder("atomadd")
+	b.I(isa.OpVLShl, isa.V(1), isa.V(0), isa.Imm(2))      // lane*4
+	b.I(isa.OpVAdd, isa.V(2), isa.V(1), isa.S(8))         // &bins[lane]
+	b.I(isa.OpVAtomicAdd, isa.V(9), isa.V(2), isa.Imm(1)) // v9 = old, bins[lane]++
+	b.Waitcnt(0)
+	b.I(isa.OpSLShl, isa.S(4), isa.S(2), isa.Imm(6)) // warp*64
+	b.I(isa.OpVAdd, isa.V(3), isa.V(0), isa.S(4))    // tid
+	b.I(isa.OpVLShl, isa.V(3), isa.V(3), isa.Imm(2))
+	b.I(isa.OpVAdd, isa.V(3), isa.V(3), isa.S(9)) // &out[tid]
+	b.Store(isa.OpVStore, isa.V(3), isa.V(9), 0)
+	b.End()
+	p := b.MustBuild()
+	m := mem.NewFlat()
+	bins := m.Alloc(4 * kernel.WavefrontSize)
+	out := m.Alloc(uint64(4 * warps * kernel.WavefrontSize))
+	l := &kernel.Launch{
+		Name: "atomadd", Program: p, Memory: m,
+		NumWorkgroups: warps, WarpsPerGroup: 1,
+		Args: []uint32{uint32(bins), uint32(out)},
+	}
+	return l, []region{{bins, kernel.WavefrontSize}, {out, warps * kernel.WavefrontSize}}
+}
+
+// TestLanedLaneCountInvariance is the tentpole guarantee: for any lane
+// count, a laned run produces an identical Result, an identical observer
+// stream (same events, same order, same cycle times) and an identical final
+// memory image. Covers loads/stores with waitcnt stalls, LDS with hardware
+// barriers, and contended global atomics whose old values expose the apply
+// order.
+func TestLanedLaneCountInvariance(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*kernel.Launch, []region)
+	}{
+		{"scale", func() (*kernel.Launch, []region) {
+			l, out := scaleLaunch(32)
+			return l, []region{{out, 32 * kernel.WavefrontSize}}
+		}},
+		{"lds-barrier", func() (*kernel.Launch, []region) {
+			l, out := barrierLaunch(6, 4)
+			return l, []region{{out, 24}}
+		}},
+		{"atomic", func() (*kernel.Launch, []region) {
+			return atomicLaunch(16)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var baseRes Result
+			var baseStream []string
+			var baseMem []uint32
+			for i, lanes := range []int{1, 2, 4} {
+				l, regs := tc.mk()
+				so := &streamObserver{}
+				res := runLaned(t, 4, lanes, l, so)
+				memw := readRegions(l, regs)
+				if i == 0 {
+					baseRes, baseStream, baseMem = res, so.lines, memw
+					continue
+				}
+				if res != baseRes {
+					t.Errorf("lanes=%d result %+v != lanes=1 result %+v", lanes, res, baseRes)
+				}
+				if !slices.Equal(so.lines, baseStream) {
+					for j := range baseStream {
+						if j >= len(so.lines) || so.lines[j] != baseStream[j] {
+							t.Errorf("lanes=%d observer stream diverges at event %d:\n  lanes=1: %s\n  lanes=%d: %s",
+								lanes, j, baseStream[j], lanes, at(so.lines, j))
+							break
+						}
+					}
+					if len(so.lines) != len(baseStream) {
+						t.Errorf("lanes=%d stream length %d != %d", lanes, len(so.lines), len(baseStream))
+					}
+				}
+				if !slices.Equal(memw, baseMem) {
+					t.Errorf("lanes=%d final memory image differs from lanes=1", lanes)
+				}
+			}
+		})
+	}
+}
+
+func at(s []string, i int) string {
+	if i < len(s) {
+		return s[i]
+	}
+	return "<missing>"
+}
+
+// TestLanedMatchesSerialFunctionally checks the differential-reference
+// relationship with the serial engine: cycle counts may differ (shared-L2
+// arbitration order does), but instruction counts, warp counts and the
+// final memory image must not.
+func TestLanedMatchesSerialFunctionally(t *testing.T) {
+	ls, outS := scaleLaunch(32)
+	serial := runDetailed(t, 4, ls, nil)
+	ll, outL := scaleLaunch(32)
+	laned := runLaned(t, 4, 2, ll, nil)
+	if laned.InstCount != serial.InstCount || laned.WarpsSimulated != serial.WarpsSimulated ||
+		laned.Complete != serial.Complete {
+		t.Fatalf("laned %+v functionally differs from serial %+v", laned, serial)
+	}
+	for i := 0; i < 32*kernel.WavefrontSize; i++ {
+		s := ls.Memory.Read32(outS + uint64(4*i))
+		l := ll.Memory.Read32(outL + uint64(4*i))
+		if s != l {
+			t.Fatalf("out[%d]: serial %d, laned %d", i, s, l)
+		}
+	}
+}
+
+// TestLanedAtomicTotalsMatchSerial runs the contended-atomic kernel on both
+// engines: the per-counter totals are order-independent, so they must agree
+// even though the old-value trace does not.
+func TestLanedAtomicTotalsMatchSerial(t *testing.T) {
+	const warps = 16
+	ls, regsS := atomicLaunch(warps)
+	m := NewMachine(DefaultCompute(4), testHier(4), nil)
+	if _, err := m.Run(ls); err != nil {
+		t.Fatal(err)
+	}
+	ll, regsL := atomicLaunch(warps)
+	runLaned(t, 4, 4, ll, nil)
+	for lane := 0; lane < kernel.WavefrontSize; lane++ {
+		s := ls.Memory.Read32(regsS[0].base + uint64(4*lane))
+		l := ll.Memory.Read32(regsL[0].base + uint64(4*lane))
+		if s != uint32(warps) || l != uint32(warps) {
+			t.Fatalf("counter %d: serial %d, laned %d, want %d", lane, s, l, warps)
+		}
+	}
+}
+
+func TestLanedStopDispatchGate(t *testing.T) {
+	l, _ := scaleLaunch(512)
+	lm := NewLanedMachine(DefaultCompute(2), testHier(2), nil, 2)
+	dispatched := 0
+	lm.SetStopDispatch(func() bool {
+		dispatched++
+		return dispatched > 100 // survives the t=0 fill, fires at a later barrier
+	})
+	res, err := lm.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("gated run reported complete")
+	}
+	if res.NextWG >= 512 || res.NextWG == 0 {
+		t.Fatalf("NextWG = %d, want in (0, 512)", res.NextWG)
+	}
+	if res.WarpsSimulated != res.NextWG {
+		t.Fatalf("simulated %d warps but dispatched %d groups", res.WarpsSimulated, res.NextWG)
+	}
+	if res.GateTime > res.EndTime || res.GateTime <= 0 {
+		t.Fatalf("GateTime = %d with EndTime %d", res.GateTime, res.EndTime)
+	}
+}
+
+func TestLanedLaneCountClamped(t *testing.T) {
+	// 4 CUs at one CU per scalar block: more lanes than blocks must clamp.
+	lm := NewLanedMachine(DefaultCompute(4), testHier(4), nil, 64)
+	if got := lm.NumLanes(); got != 4 {
+		t.Fatalf("NumLanes = %d, want 4", got)
+	}
+	// Auto (-1) resolves to at least one lane.
+	lm = NewLanedMachine(DefaultCompute(4), testHier(4), nil, -1)
+	if got := lm.NumLanes(); got < 1 || got > 4 {
+		t.Fatalf("auto NumLanes = %d, want in [1, 4]", got)
+	}
+}
+
+func TestLanedMetricsFlushedAfterRun(t *testing.T) {
+	l, _ := scaleLaunch(16)
+	reg := obs.NewRegistry()
+	lm := NewLanedMachine(DefaultCompute(4), testHier(4), nil, 2)
+	lm.SetMetrics(reg)
+	res, err := lm.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.SumCounters("sim_cu_insts_issued"); got != res.InstCount {
+		t.Fatalf("sim_cu_insts_issued = %d, want %d", got, res.InstCount)
+	}
+	if got := snap.SumCounters("sim_fu_insts_issued"); got != res.InstCount {
+		t.Fatalf("sim_fu_insts_issued = %d, want %d", got, res.InstCount)
+	}
+	if got := snap.SumCounters("sim_cu_warps_retired"); got != 16 {
+		t.Fatalf("sim_cu_warps_retired = %d, want 16", got)
+	}
+	if snap.SumCounters("sim_lane_busy_cycles") == 0 {
+		t.Fatal("sim_lane_busy_cycles not populated")
+	}
+	if snap.SumCounters("sim_lane_quanta") == 0 {
+		t.Fatal("sim_lane_quanta not populated")
+	}
+	lanesSeen := map[string]bool{}
+	for _, c := range snap.Counters {
+		if c.Name == "sim_lane_busy_cycles" {
+			lanesSeen[c.Labels["lane"]] = true
+		}
+	}
+	if len(lanesSeen) != 2 {
+		t.Fatalf("sim_lane_busy_cycles series = %v, want 2 lanes", lanesSeen)
+	}
+	var waitHist bool
+	for _, h := range snap.Histograms {
+		if h.Name == "sim_lane_barrier_wait_cycles" {
+			waitHist = true
+		}
+	}
+	if !waitHist {
+		t.Fatal("sim_lane_barrier_wait_cycles histogram missing")
+	}
+}
+
+// TestLanedDeterministicRepeat re-runs the same laned configuration twice;
+// with >1 lane the engines run on real goroutines, so this doubles as the
+// schedule-independence check (and as the -race exercise in CI).
+func TestLanedDeterministicRepeat(t *testing.T) {
+	run := func() (Result, []string) {
+		l, _ := atomicLaunch(8)
+		so := &streamObserver{}
+		return runLaned(t, 4, 4, l, so), so.lines
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if r1 != r2 {
+		t.Fatalf("repeat diverged: %+v vs %+v", r1, r2)
+	}
+	if !slices.Equal(s1, s2) {
+		t.Fatal("observer streams diverged between identical runs")
+	}
+}

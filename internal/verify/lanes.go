@@ -1,0 +1,206 @@
+package verify
+
+import (
+	"fmt"
+
+	"photon/internal/sim/emu"
+	"photon/internal/sim/event"
+	"photon/internal/sim/mem"
+	"photon/internal/sim/timing"
+)
+
+// LaneConfig returns the GPU configuration the laned-engine differential
+// checks run on. It differs from SmallConfig in one deliberate way: 8 CUs at
+// one CU per scalar block, so the machine has 8 lane partitions available
+// and lane counts 1, 2 and 8 exercise genuinely different CU placements
+// (SmallConfig's single scalar block would clamp every request to one lane).
+// The caches stay tiny so short programs still produce misses, evictions and
+// DRAM traffic across the quantum barriers.
+func LaneConfig() (timing.Config, mem.HierarchyConfig) {
+	compute := timing.DefaultCompute(8)
+	hier := mem.HierarchyConfig{
+		NumCUs:            8,
+		CUsPerScalarBlock: 1,
+		L1V:               mem.CacheConfig{Name: "L1V", SizeBytes: 4 << 10, Ways: 2, HitLatency: 28, ThroughputCycles: 1},
+		L1I:               mem.CacheConfig{Name: "L1I", SizeBytes: 8 << 10, Ways: 2, HitLatency: 20, ThroughputCycles: 1},
+		L1K:               mem.CacheConfig{Name: "L1K", SizeBytes: 4 << 10, Ways: 2, HitLatency: 24, ThroughputCycles: 1},
+		L2:                mem.CacheConfig{Name: "L2", SizeBytes: 32 << 10, Ways: 4, HitLatency: 80, ThroughputCycles: 2},
+		L2Banks:           2,
+		DRAM: mem.DRAMConfig{
+			Name: "DRAM", Banks: 4, RowBits: 11,
+			RowHitLatency: 120, RowMissLatency: 250, BurstCycles: 8,
+		},
+	}
+	return compute, hier
+}
+
+// laneCounts are the partitionings RunLaneCase compares: degenerate single
+// lane, an uneven split, and the finest split LaneConfig allows.
+var laneCounts = [...]int{1, 2, 8}
+
+// runLaned executes the case on the quantum-laned engine with the given
+// lane count, capturing the same observables as the serial runTiming.
+func runLaned(c *Case, lanes int) (*timingRun, error) {
+	l, seg, err := c.NewLaunch()
+	if err != nil {
+		return nil, err
+	}
+	compute, hcfg := LaneConfig()
+	hier := mem.NewHierarchy(hcfg)
+	obs := &captureObs{
+		states:   make(map[int]emu.WarpState, c.TotalWarps()),
+		issued:   make(map[int]uint64, c.TotalWarps()),
+		retireAt: make(map[int]event.Time, c.TotalWarps()),
+	}
+	m := timing.NewLanedMachine(compute, hier, obs, lanes)
+	res, err := m.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	return &timingRun{
+		res:      res,
+		states:   obs.states,
+		issued:   obs.issued,
+		retireAt: obs.retireAt,
+		mem:      segWords(l.Memory, seg),
+		stats:    hier.CollectStats(),
+		conserv:  hier.CheckConservation(),
+	}, nil
+}
+
+// runSerialOnLaneConfig executes the case on the serial engine but under
+// LaneConfig, so the laned runs have a like-for-like functional reference.
+func runSerialOnLaneConfig(c *Case) (*timingRun, error) {
+	l, seg, err := c.NewLaunch()
+	if err != nil {
+		return nil, err
+	}
+	compute, hcfg := LaneConfig()
+	hier := mem.NewHierarchy(hcfg)
+	obs := &captureObs{
+		states:   make(map[int]emu.WarpState, c.TotalWarps()),
+		issued:   make(map[int]uint64, c.TotalWarps()),
+		retireAt: make(map[int]event.Time, c.TotalWarps()),
+	}
+	m := timing.NewMachine(compute, hier, obs)
+	res, err := m.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	return &timingRun{
+		res:      res,
+		states:   obs.states,
+		issued:   obs.issued,
+		retireAt: obs.retireAt,
+		mem:      segWords(l.Memory, seg),
+		stats:    hier.CollectStats(),
+		conserv:  hier.CheckConservation(),
+	}, nil
+}
+
+// RunLaneCase runs the case through the quantum-laned engine at every lane
+// count in laneCounts plus the serial engine, and returns all violations of
+// the laned determinism contract:
+//
+//   - lane-count invariance: every laned run must agree exactly — Result,
+//     per-warp final architectural state, retire times, per-warp issue
+//     counts, the full memory image, and the cache-hierarchy statistics;
+//   - serial equivalence, functional only: the laned runs must match the
+//     serial engine on everything architecturally visible (registers, masks,
+//     BBV weights, instruction counts, memory image) — cycle-level numbers
+//     are allowed to differ because the shared-L2 arbitration order does;
+//   - conservation: the hierarchy flow equations hold after every run.
+func RunLaneCase(c *Case) []Violation {
+	var vs []Violation
+	fail := func(kind, format string, args ...any) {
+		vs = append(vs, Violation{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	serial, err := runSerialOnLaneConfig(c)
+	if err != nil {
+		fail("timing", "serial reference: %v", err)
+		return vs
+	}
+	if serial.conserv != nil {
+		fail("conservation", "serial reference: %v", serial.conserv)
+	}
+
+	var base *timingRun
+	baseLanes := laneCounts[0]
+	for _, lanes := range laneCounts {
+		tr, err := runLaned(c, lanes)
+		if err != nil {
+			fail("lanes", "lanes=%d: %v", lanes, err)
+			return vs
+		}
+		if tr.conserv != nil {
+			fail("conservation", "lanes=%d: %v", lanes, tr.conserv)
+		}
+		if !tr.res.Complete {
+			fail("lanes", "lanes=%d: run incomplete: nextWG %d of %d",
+				lanes, tr.res.NextWG, c.NumWorkgroups)
+		}
+		if base == nil {
+			base = tr
+			continue
+		}
+
+		// Lane-count invariance: exact equality with the first laned run.
+		if tr.res != base.res {
+			fail("lanes", "results differ: lanes=%d %+v vs lanes=%d %+v",
+				lanes, tr.res, baseLanes, base.res)
+		}
+		for id := 0; id < c.TotalWarps(); id++ {
+			if tr.retireAt[id] != base.retireAt[id] {
+				fail("lanes", "warp %d retires at %d with lanes=%d, %d with lanes=%d",
+					id, tr.retireAt[id], lanes, base.retireAt[id], baseLanes)
+			}
+			if tr.issued[id] != base.issued[id] {
+				fail("lanes", "warp %d issued %d insts with lanes=%d, %d with lanes=%d",
+					id, tr.issued[id], lanes, base.issued[id], baseLanes)
+			}
+			s1, ok1 := base.states[id]
+			s2, ok2 := tr.states[id]
+			if ok1 && ok2 {
+				if d := s1.Diff(&s2); d != "" {
+					fail("lanes", "warp %d final state differs (lanes=%d vs lanes=%d):\n%s",
+						id, baseLanes, lanes, d)
+				}
+			} else if ok1 != ok2 {
+				fail("lanes", "warp %d retired with lanes=%d: %v, lanes=%d: %v",
+					id, baseLanes, ok1, lanes, ok2)
+			}
+		}
+		diffWords(&vs, "lanes", fmt.Sprintf("lanes=%d", baseLanes), fmt.Sprintf("lanes=%d", lanes),
+			base.mem, tr.mem)
+		if tr.stats != base.stats {
+			fail("lanes", "memory stats differ: lanes=%d %+v vs lanes=%d %+v",
+				lanes, tr.stats, baseLanes, base.stats)
+		}
+	}
+
+	// Serial differential reference: functional agreement only.
+	if base.res.InstCount != serial.res.InstCount ||
+		base.res.WarpsSimulated != serial.res.WarpsSimulated ||
+		base.res.Complete != serial.res.Complete {
+		fail("lanes-serial", "functional results differ: laned %+v vs serial %+v",
+			base.res, serial.res)
+	}
+	for id := 0; id < c.TotalWarps(); id++ {
+		if base.issued[id] != serial.issued[id] {
+			fail("lanes-serial", "warp %d issued %d insts laned, %d serial",
+				id, base.issued[id], serial.issued[id])
+		}
+		s1, ok1 := serial.states[id]
+		s2, ok2 := base.states[id]
+		if !ok1 || !ok2 {
+			fail("lanes-serial", "warp %d missing (serial retired: %v, laned retired: %v)", id, ok1, ok2)
+			continue
+		}
+		if d := s1.Diff(&s2); d != "" {
+			fail("lanes-serial", "warp %d final state differs (serial vs laned):\n%s", id, d)
+		}
+	}
+	diffWords(&vs, "lanes-serial", "serial", "laned", serial.mem, base.mem)
+	return vs
+}

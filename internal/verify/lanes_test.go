@@ -1,0 +1,71 @@
+package verify
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func forEachRegressionCase(t *testing.T, check func(*testing.T, *Case)) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "*.case"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no committed regression cases found under testdata/")
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			text, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := ParseCase(string(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, c)
+		})
+	}
+}
+
+func checkLaneCase(t *testing.T, c *Case) {
+	t.Helper()
+	vs := RunLaneCase(c)
+	if len(vs) == 0 {
+		return
+	}
+	dis := "<unbuildable>"
+	if p, err := c.Program(); err == nil {
+		dis = p.Disassemble()
+	}
+	t.Fatalf("%d violations:\n%s\n%s\nserialized case for testdata/:\n%s",
+		len(vs), violationText(vs), dis, c.Format())
+}
+
+// TestLanedRandomPrograms is the laned-engine differential sweep: seeded
+// random programs, each run on the quantum-laned engine at 1, 2 and 8 lanes
+// plus the serial reference, with the lane-count-invariance and
+// serial-functional-equivalence battery (registers, masks, BBV weights,
+// memory images, conservation counters). Each case costs four timing runs,
+// so the sweep is smaller than the serial TestRandomPrograms.
+func TestLanedRandomPrograms(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 20
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(7_000 + i)
+		c := RandomCase(fmt.Sprintf("lane%d", i), seed)
+		checkLaneCase(t, c)
+	}
+}
+
+// TestLanedRegressionCases replays the committed regression corpus through
+// the lane battery — any case that once exposed an engine disagreement is
+// also a lane-invariance witness.
+func TestLanedRegressionCases(t *testing.T) {
+	forEachRegressionCase(t, checkLaneCase)
+}
