@@ -316,7 +316,9 @@ func (c *client) cancel(args []string) int {
 }
 
 // watch streams the job's SSE events, one JSON line per event, until the
-// stream ends (the job finished) or the connection drops.
+// job finishes. A dropped connection (a proxy or the cluster router going
+// away mid-stream) reconnects with Last-Event-ID, so the stream resumes
+// where it left off instead of replaying — no duplicate lines.
 func (c *client) watch(args []string) int {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
@@ -327,34 +329,88 @@ func (c *client) watch(args []string) int {
 	if !ok {
 		return 2
 	}
-	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/events")
-	if err != nil {
-		return c.fail(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(resp.Body)
-		return c.fail(fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))))
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if data, ok := strings.CutPrefix(line, "data: "); ok {
-			fmt.Fprintln(c.stdout, data)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	if err := c.streamEvents(id, func(data string, _ serve.Event) {
+		fmt.Fprintln(c.stdout, data)
+	}); err != nil {
 		return c.fail(err)
 	}
 	return 0
 }
 
+// streamEvents consumes a job's SSE stream, invoking onEvent for every data
+// payload, until the terminal "result" event arrives. It tracks the SSE id:
+// field and, when the connection drops early, reconnects with Last-Event-ID
+// so the server replays only what was missed. Progress resets the retry
+// budget: only consecutive failures give up.
+func (c *client) streamEvents(id string, onEvent func(data string, ev serve.Event)) error {
+	const maxRetries = 5
+	var lastID string
+	retries := 0
+	for {
+		req, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			return err
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if retries++; retries > maxRetries {
+				return err
+			}
+			time.Sleep(time.Duration(retries) * 200 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+		terminal := false
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "id: "); ok {
+				lastID = v
+				retries = 0
+				continue
+			}
+			data, ok := strings.CutPrefix(line, "data: ")
+			if !ok {
+				continue
+			}
+			var ev serve.Event
+			_ = json.Unmarshal([]byte(data), &ev)
+			onEvent(data, ev)
+			if ev.Type == "result" {
+				terminal = true
+			}
+		}
+		scanErr := sc.Err()
+		resp.Body.Close()
+		if terminal {
+			return nil
+		}
+		// The stream ended without the terminal event: the connection
+		// dropped (or an intermediary closed it). Resume from lastID.
+		if retries++; retries > maxRetries {
+			if scanErr != nil {
+				return scanErr
+			}
+			return fmt.Errorf("event stream for %s ended before the job finished", id)
+		}
+		fmt.Fprintf(c.stderr, "photon-ctl: event stream dropped, resuming after id %s\n", lastID)
+		time.Sleep(time.Duration(retries) * 200 * time.Millisecond)
+	}
+}
+
 // logs tails the job's structured log events over the same SSE stream watch
-// uses, filtered to type "log": the replay delivers everything the job
-// logged so far, then live records follow until the job finishes. -json
-// passes the raw event JSON through; the default renders one line per
-// record (LEVEL message key=value ...).
+// uses (reconnect-with-resume included), filtered to type "log": the replay
+// delivers everything the job logged so far, then live records follow until
+// the job finishes. -json passes the raw event JSON through; the default
+// renders one line per record (LEVEL message key=value ...).
 func (c *client) logs(args []string) int {
 	fs := flag.NewFlagSet("logs", flag.ContinueOnError)
 	fs.SetOutput(c.stderr)
@@ -366,29 +422,13 @@ func (c *client) logs(args []string) int {
 	if !ok {
 		return 2
 	}
-	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/events")
-	if err != nil {
-		return c.fail(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(resp.Body)
-		return c.fail(fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))))
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		data, ok := strings.CutPrefix(sc.Text(), "data: ")
-		if !ok {
-			continue
-		}
-		var ev serve.Event
-		if err := json.Unmarshal([]byte(data), &ev); err != nil || ev.Type != "log" {
-			continue
+	err := c.streamEvents(id, func(data string, ev serve.Event) {
+		if ev.Type != "log" {
+			return
 		}
 		if *asJSON {
 			fmt.Fprintln(c.stdout, data)
-			continue
+			return
 		}
 		line := ev.Level + " " + ev.Msg
 		keys := make([]string, 0, len(ev.Fields))
@@ -400,8 +440,8 @@ func (c *client) logs(args []string) int {
 			line += " " + k + "=" + ev.Fields[k]
 		}
 		fmt.Fprintln(c.stdout, line)
-	}
-	if err := sc.Err(); err != nil {
+	})
+	if err != nil {
 		return c.fail(err)
 	}
 	return 0

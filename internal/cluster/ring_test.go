@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerIsStable(t *testing.T) {
+	r := NewRing([]string{"node0", "node1", "node2"}, 0)
+	r2 := NewRing([]string{"node2", "node0", "node1"}, 0) // order-independent
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r.Owner(key) != r2.Owner(key) {
+			t.Fatalf("ownership depends on declaration order for %s", key)
+		}
+		if r.Owner(key) != r.Owner(key) {
+			t.Fatalf("ownership not deterministic for %s", key)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"node0", "node1"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("%064x", i))]++
+	}
+	for _, n := range nodes {
+		// With 64 vnodes per node a 2-node split lands near 50/50; anything
+		// beyond 70/30 means the vnode hashing is broken, not just unlucky.
+		if counts[n] < keys*30/100 {
+			t.Fatalf("lopsided ring: %v", counts)
+		}
+	}
+}
+
+func TestRingPreferenceCoversAllNodesOnce(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2", "node3"}
+	r := NewRing(nodes, 8)
+	pref := r.Preference("somekey")
+	if len(pref) != len(nodes) {
+		t.Fatalf("preference has %d entries, want %d: %v", len(pref), len(nodes), pref)
+	}
+	seen := map[string]bool{}
+	for _, n := range pref {
+		if seen[n] {
+			t.Fatalf("node %s appears twice in preference %v", n, pref)
+		}
+		seen[n] = true
+	}
+}
+
+// TestRingMinimalDisruption is the consistent-hashing property that matters
+// for failover: when a node dies, only ITS keys move (to their next
+// preference), and every other key keeps its owner. The router relies on
+// this to make failover deterministic and rebalancing minimal.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := NewRing([]string{"node0", "node1", "node2"}, 0)
+	without := NewRing([]string{"node0", "node2"}, 0)
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("%064x", i)
+		was, is := full.Owner(key), without.Owner(key)
+		if was != "node1" && was != is {
+			t.Fatalf("key %s moved from healthy node %s to %s when node1 left", key, was, is)
+		}
+		if was == "node1" {
+			moved++
+			// The dead node's keys must land on their ring successor — the
+			// same node the full ring's preference order names next.
+			if want := pick(full.Preference(key), "node1"); is != want {
+				t.Fatalf("key %s fell to %s, preference order says %s", key, is, want)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("node1 owned nothing; distribution test should have caught this")
+	}
+}
+
+// pick returns the first entry of pref that is not skip.
+func pick(pref []string, skip string) string {
+	for _, n := range pref {
+		if n != skip {
+			return n
+		}
+	}
+	return ""
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if r.Owner("key") != "" || len(r.Preference("key")) != 0 {
+		t.Fatal("empty ring must own nothing")
+	}
+}

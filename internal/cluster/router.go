@@ -1,0 +1,721 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"photon/internal/buildinfo"
+	"photon/internal/obs"
+	"photon/internal/serve"
+)
+
+// Config sizes a Router. Nodes is the only required field.
+type Config struct {
+	// Nodes maps node names to photon-serve base URLs. Names are the ring
+	// identities (stable across restarts) and the `node` label on every
+	// cluster_* metric.
+	Nodes map[string]string
+	// Replicas is the virtual-node count per worker (<= 0: DefaultReplicas).
+	Replicas int
+	// ProbeInterval is the /readyz polling period (default 1s); each probe
+	// is also bounded by it.
+	ProbeInterval time.Duration
+	// StealMargin is how many jobs deeper than the least-loaded healthy node
+	// the owner's queue must be — while all its workers are busy — before a
+	// submission is stolen away from it (default 2; < 0 disables stealing).
+	StealMargin int
+	// Metrics receives the cluster_* counters and gauges. The router's
+	// /metrics additionally federates every node's snapshot under a node
+	// label, so one scrape covers the fleet.
+	Metrics *obs.Registry
+	// Log receives routing decisions and health transitions. Nil disables.
+	Log *obs.Logger
+	// Client issues the router's non-streaming upstream requests (submits,
+	// status fetches, cache probes). Nil gets a 30s-timeout client.
+	Client *http.Client
+}
+
+// routedJob is the router's record of one accepted submission: which worker
+// got it and what the worker called it.
+type routedJob struct {
+	routerID string
+	remoteID string
+	hash     string
+	node     *node
+}
+
+// maxRoutedJobs bounds the id-translation table; the oldest mappings are
+// evicted beyond it, matching the workers' own job-table cap.
+const maxRoutedJobs = 4096
+
+// Router is the cluster front door: one http.Handler exposing the same API
+// surface as a single photon-serve worker, backed by N of them.
+type Router struct {
+	cfg   Config
+	ring  *Ring
+	nodes map[string]*node
+	names []string // sorted node names, for deterministic iteration
+	reg   *obs.Registry
+	log   *obs.Logger
+	mux   *http.ServeMux
+
+	client      *http.Client // JSON round-trips
+	probeClient *http.Client // readyz probes (tighter timeout)
+
+	mu     sync.Mutex
+	jobs   map[string]*routedJob // by router id
+	remote map[string]*routedJob // by node/remoteID, for list aggregation
+	order  []string              // router ids, insertion order, for eviction
+	nextID uint64
+
+	mSteals        *obs.Counter
+	mFederatedHits *obs.Counter
+	mReroutes      *obs.Counter
+	mProbeErrors   *obs.Counter
+	gHealthy       *obs.Gauge
+}
+
+// NewRouter validates the membership and builds the router. Call Start to
+// begin health probing; the handler works before that (nodes start healthy
+// on faith and forward errors correct them).
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: router needs at least one node")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.StealMargin == 0 {
+		cfg.StealMargin = 2
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rt := &Router{
+		cfg:         cfg,
+		nodes:       make(map[string]*node, len(cfg.Nodes)),
+		reg:         cfg.Metrics,
+		log:         cfg.Log,
+		mux:         http.NewServeMux(),
+		client:      cfg.Client,
+		probeClient: &http.Client{Timeout: cfg.ProbeInterval},
+		jobs:        make(map[string]*routedJob),
+		remote:      make(map[string]*routedJob),
+
+		mSteals:        cfg.Metrics.Counter("cluster_steals"),
+		mFederatedHits: cfg.Metrics.Counter("cluster_federated_hits"),
+		mReroutes:      cfg.Metrics.Counter("cluster_reroutes"),
+		mProbeErrors:   cfg.Metrics.Counter("cluster_probe_errors"),
+		gHealthy:       cfg.Metrics.Gauge("cluster_nodes_healthy"),
+	}
+	for name, rawURL := range cfg.Nodes {
+		n, err := newNode(name, rawURL)
+		if err != nil {
+			return nil, err
+		}
+		rt.nodes[name] = n
+		rt.names = append(rt.names, name)
+	}
+	sort.Strings(rt.names)
+	rt.ring = NewRing(rt.names, cfg.Replicas)
+	rt.gHealthy.Set(float64(len(rt.names)))
+
+	bi := buildinfo.Get()
+	cfg.Metrics.Gauge("photon_build_info",
+		obs.L("version", bi.Version), obs.L("revision", bi.Revision), obs.L("go", bi.Go)).Set(1)
+
+	rt.mux.HandleFunc("POST /v1/jobs", rt.submit)
+	rt.mux.HandleFunc("GET /v1/jobs", rt.list)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.jobJSON)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/result", rt.jobJSON)
+	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.jobJSON)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/accuracy", rt.jobStream)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/events", rt.jobStream)
+	rt.mux.HandleFunc("GET /v1/cache/{hash}", rt.cache)
+	rt.mux.HandleFunc("GET /healthz", rt.healthz)
+	rt.mux.HandleFunc("GET /readyz", rt.readyz)
+	rt.mux.HandleFunc("GET /metrics", rt.metrics)
+	rt.mux.HandleFunc("GET /debug/flight", rt.flight)
+	return rt, nil
+}
+
+// Handler returns the router's http.Handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Start launches the health-probe loop; it stops when ctx ends.
+func (rt *Router) Start(ctx context.Context) {
+	go rt.probeLoop(ctx)
+}
+
+// healthyNodes returns the currently-healthy nodes in name order.
+func (rt *Router) healthyNodes() []*node {
+	var out []*node
+	for _, name := range rt.names {
+		if n := rt.nodes[name]; n.Healthy() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// preferredNodes resolves a hash's preference order to live node handles,
+// healthy ones only.
+func (rt *Router) preferredNodes(hash string) []*node {
+	var out []*node
+	for _, name := range rt.ring.Preference(hash) {
+		if n := rt.nodes[name]; n.Healthy() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// submit is POST /v1/jobs at cluster scope: canonicalize to get the content
+// hash, probe the hash owner's cache (the federated lookup), pick the
+// target — owner, or a less-loaded node when the owner's queue is deep —
+// and forward, failing over along the preference order when a node turns
+// out to be dead. The response is the worker's, with the job id swapped for
+// a router-minted one and the node name filled in.
+func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var req serve.JobRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	canonical, err := serve.Canonicalize(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	hash := serve.Hash(canonical)
+
+	prefs := rt.preferredNodes(hash)
+	if len(prefs) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("cluster: no healthy nodes"))
+		return
+	}
+
+	// Federated cache lookup: before scheduling anywhere, ask the hash
+	// owner whether it already has the answer (memory or disk CAS). A hit
+	// pins the submission to the owner regardless of load — it will answer
+	// instantly without executing.
+	target := prefs[0]
+	if rt.cacheProbe(r.Context(), target, hash) {
+		rt.mFederatedHits.Inc()
+		rt.reg.Counter("cluster_federated_hits_node", obs.L("node", target.name)).Inc()
+		if rt.log.Enabled(slog.LevelDebug) {
+			rt.log.Debug("cluster: federated cache hit",
+				slog.String("node", target.name), slog.String("hash", hash[:12]))
+		}
+	} else if steal := rt.stealTarget(target, prefs); steal != nil {
+		rt.mSteals.Inc()
+		rt.log.Info("cluster: stealing work from deep queue",
+			slog.String("owner", target.name), slog.String("thief", steal.name),
+			slog.Int("owner_depth", target.Load().QueueDepth),
+			slog.Int("thief_depth", steal.Load().QueueDepth))
+		target = steal
+	}
+
+	// Forward, walking the preference order past nodes that fail at the
+	// connection level. HTTP-level rejections (429 queue full, 400) are the
+	// worker's answer, not a failover trigger — pass them through.
+	tried := map[string]bool{}
+	for _, n := range append([]*node{target}, prefs...) {
+		if tried[n.name] {
+			continue
+		}
+		tried[n.name] = true
+		st, code, err := rt.forwardSubmit(r.Context(), n, body)
+		if err != nil {
+			if n.markUnhealthy(err) {
+				rt.healthFlip(n, false)
+			}
+			rt.mReroutes.Inc()
+			rt.log.Warn("cluster: forward failed, rerouting",
+				slog.String("node", n.name), slog.String("error", err.Error()))
+			continue
+		}
+		if code >= 300 {
+			// The worker answered; relay its rejection verbatim.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			w.Write(st)
+			return
+		}
+		rt.finishSubmit(w, n, code, st, hash)
+		return
+	}
+	writeErr(w, http.StatusServiceUnavailable, errors.New("cluster: every candidate node failed"))
+}
+
+// cacheProbe asks one node whether it holds hash (204 = yes).
+func (rt *Router) cacheProbe(ctx context.Context, n *node, hash string) bool {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet,
+		n.base.JoinPath("/v1/cache/"+hash).String()+"?probe=1", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusNoContent
+}
+
+// stealTarget decides whether to route a submission away from its owner:
+// only when the owner is saturated (all workers busy, queue non-empty) and
+// its queue is at least StealMargin deeper than the least-loaded healthy
+// candidate. Returns nil to keep the owner.
+func (rt *Router) stealTarget(owner *node, prefs []*node) *node {
+	if rt.cfg.StealMargin < 0 || len(prefs) < 2 {
+		return nil
+	}
+	ol := owner.Load()
+	if !ol.Saturated {
+		return nil
+	}
+	best := owner
+	bestLoad := ol
+	for _, n := range prefs[1:] {
+		l := n.Load()
+		if l.QueueDepth+l.InFlight < bestLoad.QueueDepth+bestLoad.InFlight {
+			best, bestLoad = n, l
+		}
+	}
+	if best == owner || ol.QueueDepth-bestLoad.QueueDepth < rt.cfg.StealMargin {
+		return nil
+	}
+	return best
+}
+
+// forwardSubmit posts body to n. A nil error with code >= 300 is the
+// worker's own rejection; a non-nil error is a transport failure (failover).
+func (rt *Router) forwardSubmit(ctx context.Context, n *node, body []byte) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		n.base.JoinPath("/v1/jobs").String(), bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, resp.StatusCode, nil
+}
+
+// finishSubmit records the id mapping and relays the worker's response with
+// the router's job id and node attribution swapped in.
+func (rt *Router) finishSubmit(w http.ResponseWriter, n *node, code int, data []byte, hash string) {
+	var st serve.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		writeErr(w, http.StatusBadGateway, fmt.Errorf("cluster: bad worker response: %w", err))
+		return
+	}
+	rt.mu.Lock()
+	rt.nextID++
+	rj := &routedJob{
+		routerID: fmt.Sprintf("r%06d", rt.nextID),
+		remoteID: st.ID,
+		hash:     hash,
+		node:     n,
+	}
+	rt.jobs[rj.routerID] = rj
+	rt.remote[n.name+"/"+st.ID] = rj
+	rt.order = append(rt.order, rj.routerID)
+	for len(rt.order) > maxRoutedJobs {
+		old := rt.order[0]
+		rt.order = rt.order[1:]
+		if orj, ok := rt.jobs[old]; ok {
+			delete(rt.jobs, old)
+			delete(rt.remote, orj.node.name+"/"+orj.remoteID)
+		}
+	}
+	rt.mu.Unlock()
+
+	rt.reg.Counter("cluster_jobs_routed", obs.L("node", n.name)).Inc()
+	if rt.log.Enabled(slog.LevelDebug) {
+		rt.log.Debug("cluster: job routed", slog.String("job", rj.routerID),
+			slog.String("node", n.name), slog.String("remote", st.ID))
+	}
+	st.ID = rj.routerID
+	st.Node = n.name
+	writeJSON(w, code, st)
+}
+
+// resolve maps a router job id back to (node, remote id).
+func (rt *Router) resolve(id string) (*routedJob, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rj, ok := rt.jobs[id]
+	return rj, ok
+}
+
+// jobJSON handles the non-streaming per-job endpoints (status, result,
+// cancel): forward to the owning worker with the remote id, then rewrite
+// the response's identity fields back to cluster scope. The rewrite decodes
+// with UseNumber so every other field round-trips losslessly.
+func (rt *Router) jobJSON(w http.ResponseWriter, r *http.Request) {
+	rj, ok := rt.resolve(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, serve.ErrUnknownJob)
+		return
+	}
+	path := "/v1/jobs/" + rj.remoteID
+	if strings.HasSuffix(r.URL.Path, "/result") {
+		path += "/result"
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		rj.node.base.JoinPath(path).String(), nil)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		if rj.node.markUnhealthy(err) {
+			rt.healthFlip(rj.node, false)
+		}
+		writeErr(w, http.StatusBadGateway,
+			fmt.Errorf("cluster: node %s unreachable: %w", rj.node.name, err))
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, err)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var m map[string]any
+	if err := dec.Decode(&m); err != nil {
+		// Not a JSON object (shouldn't happen): relay verbatim.
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(data)
+		return
+	}
+	if _, ok := m["id"]; ok {
+		m["id"] = rj.routerID
+		m["node"] = rj.node.name
+	}
+	writeJSON(w, resp.StatusCode, m)
+}
+
+// jobStream handles the streaming per-job endpoints (SSE events, accuracy
+// bodies) by reverse-proxying to the owning worker with the path rewritten
+// to the remote id. Headers pass through both ways, so Last-Event-ID resume
+// and the SSE id: fields work unchanged across the router.
+func (rt *Router) jobStream(w http.ResponseWriter, r *http.Request) {
+	rj, ok := rt.resolve(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, serve.ErrUnknownJob)
+		return
+	}
+	suffix := "/events"
+	if strings.HasSuffix(r.URL.Path, "/accuracy") {
+		suffix = "/accuracy"
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/v1/jobs/" + rj.remoteID + suffix
+	r2.RequestURI = "" // outgoing requests must not set it
+	rj.node.proxy.ServeHTTP(w, r2)
+}
+
+// cache is the cluster-scope federated lookup: ask the hash owner first,
+// then every other healthy node, and relay the first hit. 404 only when no
+// live node holds the entry.
+func (rt *Router) cache(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	probe := r.URL.Query().Get("probe") != ""
+	for _, n := range rt.preferredNodes(hash) {
+		url := n.base.JoinPath("/v1/cache/" + hash).String()
+		if probe {
+			url += "?probe=1"
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK {
+			rt.mFederatedHits.Inc()
+			rt.reg.Counter("cluster_federated_hits_node", obs.L("node", n.name)).Inc()
+			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+			w.WriteHeader(resp.StatusCode)
+			io.Copy(w, resp.Body)
+			resp.Body.Close()
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("no cached result for %s on any node", hash))
+}
+
+// list aggregates GET /v1/jobs across healthy workers. Jobs the router
+// routed itself appear under their router ids; jobs submitted directly to a
+// worker (bypassing the router) appear as node/remote-id so nothing hides.
+func (rt *Router) list(w http.ResponseWriter, r *http.Request) {
+	var (
+		mu  sync.Mutex
+		all []serve.JobStatus
+		wg  sync.WaitGroup
+	)
+	for _, n := range rt.healthyNodes() {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+				n.base.JoinPath("/v1/jobs").String(), nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var sts []serve.JobStatus
+			if json.NewDecoder(resp.Body).Decode(&sts) != nil {
+				return
+			}
+			rt.mu.Lock()
+			for i := range sts {
+				if rj, ok := rt.remote[n.name+"/"+sts[i].ID]; ok {
+					sts[i].ID = rj.routerID
+				} else {
+					sts[i].ID = n.name + "/" + sts[i].ID
+				}
+				sts[i].Node = n.name
+			}
+			rt.mu.Unlock()
+			mu.Lock()
+			all = append(all, sts...)
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	if all == nil {
+		all = []serve.JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, all)
+}
+
+// healthz reports the router's liveness, build identity and the per-node
+// health table.
+func (rt *Router) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string         `json:"status"`
+		Role   string         `json:"role"`
+		Build  buildinfo.Info `json:"build"`
+		Nodes  []nodeStatus   `json:"nodes"`
+	}{"ok", "router", buildinfo.Get(), rt.nodeStatuses()})
+}
+
+// readyz is ready while at least one worker is: the cluster can still serve
+// (degraded) with a single survivor.
+func (rt *Router) readyz(w http.ResponseWriter, r *http.Request) {
+	statuses := rt.nodeStatuses()
+	healthy := 0
+	for _, st := range statuses {
+		if st.Healthy {
+			healthy++
+		}
+	}
+	body := struct {
+		Status  string       `json:"status"`
+		Healthy int          `json:"healthy_nodes"`
+		Nodes   []nodeStatus `json:"nodes"`
+	}{"ok", healthy, statuses}
+	if healthy == 0 {
+		body.Status = "no healthy nodes"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (rt *Router) nodeStatuses() []nodeStatus {
+	out := make([]nodeStatus, 0, len(rt.names))
+	for _, name := range rt.names {
+		out = append(out, rt.nodes[name].status())
+	}
+	return out
+}
+
+// metrics federates the fleet's snapshots: every healthy worker's /metrics
+// (JSON) is fetched, relabeled with its node name, and merged with the
+// router's own cluster_* registry. One scrape — JSON or Prometheus text
+// under the same content negotiation workers use — covers the cluster.
+func (rt *Router) metrics(w http.ResponseWriter, r *http.Request) {
+	merged := rt.reg.Snapshot()
+	type result struct {
+		name string
+		snap obs.Snapshot
+		ok   bool
+	}
+	nodes := rt.healthyNodes()
+	results := make([]result, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+				n.base.JoinPath("/metrics").String(), nil)
+			if err != nil {
+				return
+			}
+			req.Header.Set("Accept", "application/json")
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var snap obs.Snapshot
+			if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+				return
+			}
+			results[i] = result{name: n.name, snap: snap, ok: true}
+		}(i, n)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if !res.ok {
+			continue
+		}
+		for _, c := range res.snap.Counters {
+			c.Labels = withNode(c.Labels, res.name)
+			merged.Counters = append(merged.Counters, c)
+		}
+		for _, g := range res.snap.Gauges {
+			g.Labels = withNode(g.Labels, res.name)
+			merged.Gauges = append(merged.Gauges, g)
+		}
+		for _, h := range res.snap.Histograms {
+			h.Labels = withNode(h.Labels, res.name)
+			merged.Histograms = append(merged.Histograms, h)
+		}
+	}
+	if obs.WantsProm(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WriteProm(w, merged)
+		return
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func withNode(labels map[string]string, name string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	out["node"] = name
+	return out
+}
+
+// flight aggregates /debug/flight across healthy workers: with
+// ?format=text, each node's terminal rendering under a banner; otherwise a
+// JSON object keyed by node name.
+func (rt *Router) flight(w http.ResponseWriter, r *http.Request) {
+	text := r.URL.Query().Get("format") == "text"
+	type dump struct {
+		name string
+		body []byte
+	}
+	nodes := rt.healthyNodes()
+	dumps := make([]dump, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			url := n.base.JoinPath("/debug/flight").String()
+			if text {
+				url += "?format=text"
+			}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return
+			}
+			dumps[i] = dump{name: n.name, body: body}
+		}(i, n)
+	}
+	wg.Wait()
+	if text {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, d := range dumps {
+			if d.body == nil {
+				continue
+			}
+			fmt.Fprintf(w, "== %s ==\n", d.name)
+			w.Write(d.body)
+		}
+		return
+	}
+	out := make(map[string]json.RawMessage, len(dumps))
+	for _, d := range dumps {
+		if d.body != nil {
+			out[d.name] = json.RawMessage(d.body)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,456 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"photon/internal/obs"
+	"photon/internal/serve"
+)
+
+// stubOutput is what every test worker's executor returns: deterministic,
+// derived from the request, so byte-identity across nodes and across the
+// router is checkable.
+func stubOutput(req serve.JobRequest) serve.Output {
+	return serve.Output{
+		Text:  fmt.Sprintf("bench=%s size=%d quick=%v\n", req.Bench, req.Size, req.Quick),
+		JSONL: fmt.Sprintf(`{"bench":%q}`+"\n", req.Bench),
+	}
+}
+
+type worker struct {
+	name  string
+	srv   *httptest.Server
+	sched *serve.Scheduler
+	reg   *obs.Registry
+}
+
+func newWorker(t *testing.T, name string, casDir string) *worker {
+	t.Helper()
+	reg := obs.NewRegistry()
+	var store *serve.CAS
+	if casDir != "" {
+		var err error
+		store, err = serve.OpenCAS(casDir, 0, reg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched := serve.NewScheduler(serve.Config{
+		Metrics: reg,
+		Store:   store,
+		Executor: func(ctx context.Context, req serve.JobRequest, h serve.Hooks) (serve.Output, error) {
+			return stubOutput(req), nil
+		},
+	})
+	srv := httptest.NewServer(serve.NewServer(sched, reg).Handler())
+	t.Cleanup(srv.Close)
+	return &worker{name: name, srv: srv, sched: sched, reg: reg}
+}
+
+func newTestRouter(t *testing.T, workers ...*worker) (*Router, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	nodes := make(map[string]string, len(workers))
+	for _, w := range workers {
+		nodes[w.name] = w.srv.URL
+	}
+	reg := obs.NewRegistry()
+	rt, err := NewRouter(Config{Nodes: nodes, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	rt.probeAll(context.Background())
+	return rt, srv, reg
+}
+
+func submitVia(t *testing.T, base string, req serve.JobRequest) (serve.JobStatus, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var st serve.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("submit response: %v (%s)", err, data)
+	}
+	return st, resp.StatusCode
+}
+
+func waitDone(t *testing.T, base, id string) serve.JobResult {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			var res serve.JobResult
+			if err := json.Unmarshal(data, &res); err != nil {
+				t.Fatalf("result: %v (%s)", err, data)
+			}
+			return res
+		}
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("result: HTTP %d: %s", resp.StatusCode, data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return serve.JobResult{}
+}
+
+// TestRouterRoutesByHashAndRewritesIDs: a submission through the router
+// lands on the ring owner of its content hash, gets a router-scope id, and
+// the status/result endpoints answer under that id with node attribution.
+func TestRouterRoutesByHashAndRewritesIDs(t *testing.T) {
+	w0 := newWorker(t, "node0", "")
+	w1 := newWorker(t, "node1", "")
+	rt, srv, _ := newTestRouter(t, w0, w1)
+
+	req := serve.JobRequest{Bench: "mm"}
+	canonical, err := serve.Canonicalize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNode := rt.ring.Owner(serve.Hash(canonical))
+
+	st, code := submitVia(t, srv.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit code = %d, want 202", code)
+	}
+	if !strings.HasPrefix(st.ID, "r") {
+		t.Fatalf("router id = %q, want r-prefixed", st.ID)
+	}
+	if st.Node != wantNode {
+		t.Fatalf("routed to %s, ring owner is %s", st.Node, wantNode)
+	}
+	res := waitDone(t, srv.URL, st.ID)
+	if res.ID != st.ID || res.Node != wantNode {
+		t.Fatalf("result identity = (%s, %s), want (%s, %s)", res.ID, res.Node, st.ID, wantNode)
+	}
+	if want := stubOutput(canonical); res.Output != want.Text {
+		t.Fatalf("output through router = %q, want %q", res.Output, want.Text)
+	}
+}
+
+// TestRouterByteIdenticalToDirect: the artifact served through the router
+// is byte-identical to the same request submitted directly to a worker —
+// the cluster invariant.
+func TestRouterByteIdenticalToDirect(t *testing.T) {
+	w0 := newWorker(t, "node0", "")
+	w1 := newWorker(t, "node1", "")
+	_, srv, _ := newTestRouter(t, w0, w1)
+
+	req := serve.JobRequest{Bench: "spmv"}
+	st, _ := submitVia(t, srv.URL, req)
+	viaRouter := waitDone(t, srv.URL, st.ID)
+
+	solo := newWorker(t, "solo", "")
+	dst, _ := submitVia(t, solo.srv.URL, req)
+	direct := waitDone(t, solo.srv.URL, dst.ID)
+
+	if viaRouter.Output != direct.Output || viaRouter.JSONL != direct.JSONL {
+		t.Fatalf("router output diverged from direct:\nrouter: %q %q\ndirect: %q %q",
+			viaRouter.Output, viaRouter.JSONL, direct.Output, direct.JSONL)
+	}
+}
+
+// TestRouterFederatedCacheHit: resubmitting a completed request through the
+// router is answered by the owner's cache — the federated probe fires, the
+// submission reports cache_hit, and cluster_federated_hits counts it.
+func TestRouterFederatedCacheHit(t *testing.T) {
+	w0 := newWorker(t, "node0", t.TempDir())
+	w1 := newWorker(t, "node1", t.TempDir())
+	_, srv, reg := newTestRouter(t, w0, w1)
+
+	req := serve.JobRequest{Bench: "mm"}
+	st, _ := submitVia(t, srv.URL, req)
+	waitDone(t, srv.URL, st.ID)
+
+	st2, code := submitVia(t, srv.URL, req)
+	if code != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("resubmit = %d %+v, want 200 cache hit", code, st2)
+	}
+	if st2.Node != st.Node {
+		t.Fatalf("cache hit routed to %s, original ran on %s", st2.Node, st.Node)
+	}
+	if got := reg.Snapshot().SumCounters("cluster_federated_hits"); got < 1 {
+		t.Fatalf("cluster_federated_hits = %v, want >= 1", got)
+	}
+}
+
+// TestRouterFailover: when the hash owner dies, a submission reroutes to
+// the survivor, the flip and reroute are visible in cluster_* metrics, and
+// the cluster keeps serving end to end.
+func TestRouterFailover(t *testing.T) {
+	w0 := newWorker(t, "node0", "")
+	w1 := newWorker(t, "node1", "")
+	rt, srv, reg := newTestRouter(t, w0, w1)
+
+	// Find a request owned by each node so we can kill a known owner.
+	victim, survivor := w0, w1
+	req := serve.JobRequest{Bench: "mm"}
+	canonical, _ := serve.Canonicalize(req)
+	if rt.ring.Owner(serve.Hash(canonical)) == "node1" {
+		victim, survivor = w1, w0
+	}
+	victim.srv.Close() // SIGKILL equivalent: connections refused from now on
+
+	st, code := submitVia(t, srv.URL, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("failover submit = %d, want 202", code)
+	}
+	if st.Node != survivor.name {
+		t.Fatalf("failover routed to %s, want survivor %s", st.Node, survivor.name)
+	}
+	res := waitDone(t, srv.URL, st.ID)
+	if want := stubOutput(canonical); res.Output != want.Text {
+		t.Fatalf("failover output = %q, want %q", res.Output, want.Text)
+	}
+	snap := reg.Snapshot()
+	if got := snap.SumCounters("cluster_reroutes"); got < 1 {
+		t.Fatalf("cluster_reroutes = %v, want >= 1", got)
+	}
+	if got := snap.SumCounters("cluster_node_health_flips", obs.L("node", victim.name)); got < 1 {
+		t.Fatalf("no health flip recorded for dead node %s", victim.name)
+	}
+	// readyz stays 200: one survivor still serves.
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with one survivor = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestRouterStealTarget covers the work-stealing decision table without the
+// flakiness of racing real queues: saturation and margin both gate a steal.
+func TestRouterStealTarget(t *testing.T) {
+	reg := obs.NewRegistry()
+	rt, err := NewRouter(Config{
+		Nodes:   map[string]string{"a": "http://127.0.0.1:1", "b": "http://127.0.0.1:2"},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rt.nodes["a"], rt.nodes["b"]
+	set := func(n *node, load serve.Load) {
+		n.mu.Lock()
+		n.load = load
+		n.mu.Unlock()
+	}
+	prefs := []*node{a, b}
+
+	// Owner idle: never steal.
+	set(a, serve.Load{Workers: 1})
+	set(b, serve.Load{Workers: 1})
+	if got := rt.stealTarget(a, prefs); got != nil {
+		t.Fatalf("stole from an idle owner: %v", got.name)
+	}
+	// Owner saturated but within margin: keep.
+	set(a, serve.Load{QueueDepth: 1, InFlight: 1, Workers: 1, Saturated: true})
+	if got := rt.stealTarget(a, prefs); got != nil {
+		t.Fatalf("stole within margin: %v", got.name)
+	}
+	// Owner saturated and deep: steal to the idle node.
+	set(a, serve.Load{QueueDepth: 5, InFlight: 1, Workers: 1, Saturated: true})
+	if got := rt.stealTarget(a, prefs); got != b {
+		t.Fatal("deep saturated queue did not trigger a steal")
+	}
+	// Both deep: no point moving.
+	set(b, serve.Load{QueueDepth: 5, InFlight: 1, Workers: 1, Saturated: true})
+	if got := rt.stealTarget(a, prefs); got != nil {
+		t.Fatalf("stole to an equally deep node: %v", got.name)
+	}
+}
+
+// TestRouterSSEStreamAndResume: the SSE stream proxies through the router
+// with id: fields intact, and a reconnect with Last-Event-ID replays only
+// the tail — the photon-ctl watch resume path, cluster edition.
+func TestRouterSSEStreamAndResume(t *testing.T) {
+	w0 := newWorker(t, "node0", "")
+	w1 := newWorker(t, "node1", "")
+	_, srv, _ := newTestRouter(t, w0, w1)
+
+	st, _ := submitVia(t, srv.URL, serve.JobRequest{Bench: "mm"})
+	waitDone(t, srv.URL, st.ID)
+
+	ids, events := readSSE(t, srv.URL, st.ID, 0)
+	if len(events) < 2 || events[len(events)-1] != "result" {
+		t.Fatalf("full stream = %v, want lifecycle ending in result", events)
+	}
+	for i, id := range ids {
+		if id != uint64(i)+1 {
+			t.Fatalf("ids = %v, want 1..n", ids)
+		}
+	}
+	// Resume after the penultimate event: exactly the terminal one replays.
+	resumeIDs, resumeEvents := readSSE(t, srv.URL, st.ID, ids[len(ids)-2])
+	if len(resumeEvents) != 1 || resumeEvents[0] != "result" {
+		t.Fatalf("resume replayed %v, want just the result event", resumeEvents)
+	}
+	if resumeIDs[0] != ids[len(ids)-1] {
+		t.Fatalf("resume id = %d, want %d", resumeIDs[0], ids[len(ids)-1])
+	}
+}
+
+// readSSE reads a finished job's event stream via the router, returning the
+// id: values and event: types in order.
+func readSSE(t *testing.T, base, id string, lastEventID uint64) ([]uint64, []string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprint(lastEventID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	var (
+		ids    []uint64
+		events []string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "id: "); ok {
+			var id uint64
+			fmt.Sscanf(v, "%d", &id)
+			ids = append(ids, id)
+		}
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			events = append(events, v)
+		}
+	}
+	return ids, events
+}
+
+// TestRouterMetricsFederation: one scrape of the router yields every node's
+// serve_* metrics under node labels plus the router's cluster_* metrics,
+// in JSON and in Prometheus text.
+func TestRouterMetricsFederation(t *testing.T) {
+	w0 := newWorker(t, "node0", "")
+	w1 := newWorker(t, "node1", "")
+	_, srv, _ := newTestRouter(t, w0, w1)
+
+	st, _ := submitVia(t, srv.URL, serve.JobRequest{Bench: "mm"})
+	waitDone(t, srv.URL, st.ID)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.SumCounters("cluster_jobs_routed"); got != 1 {
+		t.Fatalf("cluster_jobs_routed = %v, want 1", got)
+	}
+	for _, nodeName := range []string{"node0", "node1"} {
+		found := false
+		for _, c := range snap.Counters {
+			if c.Name == "serve_jobs_submitted" && c.Labels["node"] == nodeName {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("federated snapshot missing serve_jobs_submitted for %s", nodeName)
+		}
+	}
+
+	preq, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	preq.Header.Set("Accept", "text/plain")
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	prom, _ := io.ReadAll(presp.Body)
+	if !strings.Contains(string(prom), "cluster_jobs_routed") ||
+		!strings.Contains(string(prom), `node="node`) {
+		t.Fatalf("prom exposition missing cluster metrics or node labels:\n%s", prom)
+	}
+}
+
+// TestRouterListAggregates: GET /v1/jobs through the router shows jobs from
+// every node under router ids.
+func TestRouterListAggregates(t *testing.T) {
+	w0 := newWorker(t, "node0", "")
+	w1 := newWorker(t, "node1", "")
+	_, srv, _ := newTestRouter(t, w0, w1)
+
+	ids := map[string]bool{}
+	for _, req := range []serve.JobRequest{{Bench: "mm"}, {Bench: "spmv"}, {Bench: "hist"}} {
+		st, _ := submitVia(t, srv.URL, req)
+		waitDone(t, srv.URL, st.ID)
+		ids[st.ID] = true
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var all []serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range all {
+		if ids[st.ID] {
+			delete(ids, st.ID)
+			if st.Node == "" {
+				t.Fatalf("aggregated job %s missing node attribution", st.ID)
+			}
+		}
+	}
+	if len(ids) != 0 {
+		t.Fatalf("aggregated list missing router jobs: %v", ids)
+	}
+}
+
+// TestRouterUnknownJob: ids the router never issued are a clean 404.
+func TestRouterUnknownJob(t *testing.T) {
+	w0 := newWorker(t, "node0", "")
+	_, srv, _ := newTestRouter(t, w0)
+	resp, err := http.Get(srv.URL + "/v1/jobs/r999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+}

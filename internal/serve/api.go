@@ -74,6 +74,10 @@ type JobStatus struct {
 	Request     JobRequest `json:"request"`
 	RequestHash string     `json:"request_hash"`
 
+	// Node is the worker that owns this job, filled in only by the cluster
+	// router (internal/cluster); a single-node daemon leaves it empty.
+	Node string `json:"node,omitempty"`
+
 	// CacheHit marks a submission answered instantly from a completed
 	// execution; Coalesced marks one attached to an execution that was
 	// already queued or running when it arrived.
@@ -120,6 +124,11 @@ type JobResult struct {
 // engine/kernel spans relayed from the job's obs trace hook, structured log
 // records scoped to the job, and the final result marker.
 type Event struct {
+	// Seq is the hub-assigned sequence number (1, 2, …), carried on the wire
+	// as the SSE `id:` field rather than in the JSON payload; a reconnecting
+	// client sends it back as Last-Event-ID to resume instead of replaying.
+	Seq uint64 `json:"-"`
+
 	Type  string  `json:"type"`            // "state" | "span" | "log" | "result"
 	State string  `json:"state,omitempty"` // for "state" and "result"
 	Name  string  `json:"name,omitempty"`  // span name (job-3, MM/mm_tile, …)
@@ -132,6 +141,34 @@ type Event struct {
 	Level  string            `json:"level,omitempty"`
 	Msg    string            `json:"msg,omitempty"`
 	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Load is the scheduler's instantaneous load signal, reported by /readyz so
+// the cluster router's health-aware rebalancing and work-stealing see real
+// queue pressure instead of a bare 200. Existing probes keep working: the
+// endpoint still answers plain 200-when-ready / 503-when-draining and the
+// body stays valid JSON.
+type Load struct {
+	// QueueDepth is the number of admitted executions waiting for a worker.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is the number of executions currently running.
+	InFlight int `json:"in_flight"`
+	// Workers is the configured execution concurrency.
+	Workers int `json:"workers"`
+	// Saturated reports that every worker is busy and work is queued behind
+	// them — the condition that makes this node a work-stealing victim.
+	Saturated bool `json:"saturated"`
+}
+
+// CacheEntry is the body of GET /v1/cache/{hash}: a completed execution's
+// artifacts looked up by content address (memory first, then the disk CAS).
+// The cluster router probes this endpoint on the hash-owner node before
+// scheduling a job anywhere — the federated cache lookup.
+type CacheEntry struct {
+	Hash     string `json:"hash"`
+	Output   string `json:"output"`
+	JSONL    string `json:"jsonl,omitempty"`
+	Accuracy string `json:"accuracy,omitempty"`
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.

@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"photon/internal/obs"
+)
+
+// CAS is a disk-backed content-addressed result store: one JSON file per
+// completed execution, named by the canonical request's SHA-256 hash. It is
+// what makes a worker's cache survive restarts — the scheduler consults it
+// before executing and spills every successful execution into it — and what
+// the cluster router's federated lookups read through GET /v1/cache/{hash}.
+//
+// Crash safety: writes go to a unique temp file in the store directory and
+// are fsynced before an atomic rename, so a crash mid-write leaves either
+// the old entry or a *.tmp leftover, never a torn entry. Leftover temp
+// files are deleted by the boot scan.
+//
+// Eviction: an in-memory LRU index caps the store at MaxBytes; recency is
+// mirrored onto the files' mtimes (Get touches them), so a rebuild from a
+// directory scan — the only index there is after a restart — recovers the
+// same least-recently-used order the live index had.
+//
+// All methods are safe for concurrent use and safe on a nil receiver (a
+// nil *CAS behaves as an always-miss, drop-everything store), so the
+// scheduler needs no branching when the operator runs without -cas-dir.
+type CAS struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // hash -> element whose Value is *casEntry
+	lru     *list.List               // front = most recent, back = eviction candidate
+	bytes   int64
+
+	log *obs.Logger
+
+	mHits, mMisses, mPuts, mEvictions, mErrors *obs.Counter
+	gBytes, gEntries                           *obs.Gauge
+}
+
+type casEntry struct {
+	hash string
+	size int64
+}
+
+// casRecord is the on-disk schema: the artifacts plus enough identity to
+// debug a store by hand (the hash is also the filename; storing it inside
+// lets a mis-renamed file be detected).
+type casRecord struct {
+	Hash      string    `json:"hash"`
+	CreatedAt time.Time `json:"created_at"`
+	Text      string    `json:"output"`
+	JSONL     string    `json:"jsonl,omitempty"`
+	Accuracy  string    `json:"accuracy,omitempty"`
+}
+
+const casSuffix = ".json"
+
+// OpenCAS opens (creating if needed) the store rooted at dir, capped at
+// maxBytes (<= 0 means 1 GiB), and rebuilds the LRU index from a directory
+// scan: entries ordered by mtime, *.tmp leftovers from a crashed writer
+// deleted, and the size cap enforced immediately. reg receives the
+// serve_cas_* counters; log (nil-safe) gets eviction and error records.
+func OpenCAS(dir string, maxBytes int64, reg *obs.Registry, log *obs.Logger) (*CAS, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 30
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cas: %w", err)
+	}
+	c := &CAS{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		log:      log,
+
+		mHits:      reg.Counter("serve_cas_hits"),
+		mMisses:    reg.Counter("serve_cas_misses"),
+		mPuts:      reg.Counter("serve_cas_puts"),
+		mEvictions: reg.Counter("serve_cas_evictions"),
+		mErrors:    reg.Counter("serve_cas_errors"),
+		gBytes:     reg.Gauge("serve_cas_bytes"),
+		gEntries:   reg.Gauge("serve_cas_entries"),
+	}
+	if err := c.rebuild(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// rebuild scans the store directory into a fresh index. Called once from
+// OpenCAS; exported behavior is covered by the restart tests.
+func (c *CAS) rebuild() error {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("cas: scan: %w", err)
+	}
+	type scanned struct {
+		hash  string
+		size  int64
+		mtime time.Time
+	}
+	var found []scanned
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.Contains(name, ".tmp") {
+			// A writer died between create and rename; the entry it was
+			// replacing (if any) is intact, the partial write is garbage.
+			if err := os.Remove(filepath.Join(c.dir, name)); err != nil {
+				c.mErrors.Inc()
+				c.log.Warn("cas: removing stale temp file failed",
+					slog.String("file", name), slog.String("error", err.Error()))
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, casSuffix) {
+			continue // not ours; leave it alone
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent delete
+		}
+		found = append(found, scanned{
+			hash:  strings.TrimSuffix(name, casSuffix),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+	}
+	// Oldest first, so inserting front-of-list in order leaves the most
+	// recently used entry at the front — the live index's invariant.
+	sort.Slice(found, func(i, j int) bool {
+		if !found[i].mtime.Equal(found[j].mtime) {
+			return found[i].mtime.Before(found[j].mtime)
+		}
+		return found[i].hash < found[j].hash
+	})
+	c.mu.Lock()
+	for _, f := range found {
+		c.entries[f.hash] = c.lru.PushFront(&casEntry{hash: f.hash, size: f.size})
+		c.bytes += f.size
+	}
+	c.evictLocked(nil)
+	c.publishLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// Get returns the stored artifacts for hash, touching the entry's recency
+// (index position and file mtime). A missing or unreadable entry is a miss.
+func (c *CAS) Get(hash string) (Output, bool) {
+	if c == nil {
+		return Output{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[hash]
+	if !ok {
+		c.mu.Unlock()
+		c.mMisses.Inc()
+		return Output{}, false
+	}
+	c.lru.MoveToFront(el)
+	c.mu.Unlock()
+
+	path := c.path(hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// The file vanished under us (operator cleanup, disk fault): drop
+		// the index entry and report a miss so the job simply re-executes.
+		c.dropEntry(hash)
+		c.mMisses.Inc()
+		c.mErrors.Inc()
+		return Output{}, false
+	}
+	var rec casRecord
+	if err := json.Unmarshal(data, &rec); err != nil || (rec.Hash != "" && rec.Hash != hash) {
+		c.dropEntry(hash)
+		_ = os.Remove(path)
+		c.mMisses.Inc()
+		c.mErrors.Inc()
+		c.log.Warn("cas: corrupt entry dropped", slog.String("hash", short(hash)))
+		return Output{}, false
+	}
+	// Mirror recency onto mtime so a post-restart scan rebuilds the same
+	// LRU order. Best-effort: a failed touch only skews future eviction.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	c.mHits.Inc()
+	return Output{Text: rec.Text, JSONL: rec.JSONL, Accuracy: rec.Accuracy}, true
+}
+
+// Put spills one completed execution to disk: marshal, write to a unique
+// temp file, fsync, rename into place, update the index and evict beyond
+// the byte cap. Put never fails the caller's job — errors are counted,
+// logged and swallowed (the result is still served from memory).
+func (c *CAS) Put(hash string, out Output) {
+	if c == nil {
+		return
+	}
+	data, err := json.Marshal(casRecord{
+		Hash: hash, CreatedAt: time.Now().UTC(),
+		Text: out.Text, JSONL: out.JSONL, Accuracy: out.Accuracy,
+	})
+	if err != nil {
+		c.mErrors.Inc()
+		return
+	}
+	if err := c.writeAtomic(hash, data); err != nil {
+		c.mErrors.Inc()
+		c.log.Warn("cas: spill failed",
+			slog.String("hash", short(hash)), slog.String("error", err.Error()))
+		return
+	}
+	c.mPuts.Inc()
+
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		e := el.Value.(*casEntry)
+		c.bytes += int64(len(data)) - e.size
+		e.size = int64(len(data))
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[hash] = c.lru.PushFront(&casEntry{hash: hash, size: int64(len(data))})
+		c.bytes += int64(len(data))
+	}
+	// The entry just written is exempt: evicting the result we computed
+	// milliseconds ago to honor a cap would be strictly worse than briefly
+	// exceeding it.
+	c.evictLocked(c.entries[hash])
+	c.publishLocked()
+	c.mu.Unlock()
+}
+
+// writeAtomic writes data as hash.json via a unique temp file + rename.
+func (c *CAS) writeAtomic(hash string, data []byte) error {
+	f, err := os.CreateTemp(c.dir, hash+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, c.path(hash)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used entries (files included) until
+// the store fits the byte cap, never evicting keep.
+func (c *CAS) evictLocked(keep *list.Element) {
+	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		el := c.lru.Back()
+		if el == nil || el == keep {
+			return
+		}
+		e := el.Value.(*casEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.hash)
+		c.bytes -= e.size
+		if err := os.Remove(c.path(e.hash)); err != nil && !os.IsNotExist(err) {
+			c.mErrors.Inc()
+		}
+		c.mEvictions.Inc()
+		c.log.Debug("cas: evicted", slog.String("hash", short(e.hash)),
+			slog.Int64("size", e.size))
+	}
+}
+
+// dropEntry removes hash from the index (not the disk) after a read error.
+func (c *CAS) dropEntry(hash string) {
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		e := el.Value.(*casEntry)
+		c.lru.Remove(el)
+		delete(c.entries, hash)
+		c.bytes -= e.size
+		c.publishLocked()
+	}
+	c.mu.Unlock()
+}
+
+func (c *CAS) publishLocked() {
+	c.gBytes.Set(float64(c.bytes))
+	c.gEntries.Set(float64(c.lru.Len()))
+}
+
+func (c *CAS) path(hash string) string {
+	return filepath.Join(c.dir, hash+casSuffix)
+}
+
+// Len reports the number of indexed entries.
+func (c *CAS) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes reports the indexed payload size.
+func (c *CAS) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

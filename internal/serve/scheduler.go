@@ -79,6 +79,11 @@ type Config struct {
 	Baselines *harness.BaselineCache
 	// Executor runs jobs; nil uses HarnessExecutor(). Tests inject stubs.
 	Executor Executor
+	// Store is the disk-backed content-addressed result store. When set,
+	// Submit consults it after the in-memory execution table (so completed
+	// results survive restarts) and every successful execution spills into
+	// it. Nil (the default) keeps the service memory-only.
+	Store *CAS
 }
 
 func (c Config) withDefaults() Config {
@@ -235,6 +240,24 @@ func (s *Scheduler) Submit(req JobRequest) (JobStatus, error) {
 		return s.statusLocked(j), nil
 	}
 
+	// Not in memory: the disk CAS may still have it — that is how a
+	// restarted worker answers jobs it completed in a previous life without
+	// re-executing. A disk hit is resurrected as a terminal execution so
+	// every read path (status, result, accuracy, events replay) behaves
+	// exactly like a memory hit.
+	if out, ok := s.cfg.Store.Get(hash); ok {
+		e := s.resurrectLocked(hash, canonical, out)
+		j := s.newJobLocked(e)
+		j.cacheHit = true
+		s.mCacheHits.Inc()
+		s.cfg.Flight.RecordEvent(obs.FlightEvent{Kind: "sched", Job: j.id, Msg: "cache hit (disk cas)"})
+		if s.cfg.Log.Enabled(slog.LevelDebug) {
+			s.cfg.Log.Debug("job answered from disk cas",
+				slog.String("job", j.id), slog.String("hash", short(hash)))
+		}
+		return s.statusLocked(j), nil
+	}
+
 	if s.draining {
 		s.mRejected.Inc()
 		s.cfg.Flight.RecordEvent(obs.FlightEvent{Kind: "sched", Msg: "rejected: draining"})
@@ -280,6 +303,46 @@ func (s *Scheduler) Submit(req JobRequest) (JobStatus, error) {
 			slog.Int("queue_depth", len(s.queue)))
 	}
 	return s.statusLocked(j), nil
+}
+
+// resurrectLocked builds a terminal execution around a disk-CAS hit and
+// installs it as the in-memory cache entry for its hash, so subsequent
+// submissions hit memory directly. The hub carries the terminal event only
+// — the lifecycle that produced the artifacts belonged to a previous
+// process.
+func (s *Scheduler) resurrectLocked(hash string, req JobRequest, out Output) *execution {
+	now := time.Now()
+	e := &execution{
+		hash:     hash,
+		req:      req,
+		hub:      newEventHub(),
+		cancel:   func() {},
+		done:     make(chan struct{}),
+		state:    StateDone,
+		out:      out,
+		created:  now,
+		started:  now,
+		finished: now,
+	}
+	close(e.done)
+	e.hub.publish(Event{Type: "result", State: StateDone})
+	e.hub.close()
+	s.execs[hash] = e
+	s.rememberDoneLocked(hash)
+	return e
+}
+
+// rememberDoneLocked appends hash to the completed-results list and evicts
+// the oldest in-memory entries beyond the configured cap.
+func (s *Scheduler) rememberDoneLocked(hash string) {
+	s.cached = append(s.cached, hash)
+	for len(s.cached) > s.cfg.MaxCachedResults {
+		evict := s.cached[0]
+		s.cached = s.cached[1:]
+		if old, ok := s.execs[evict]; ok && old.state == StateDone {
+			delete(s.execs, evict)
+		}
+	}
 }
 
 // short abbreviates a request hash for log records and flight events.
@@ -362,6 +425,14 @@ func (s *Scheduler) runExecution(e *execution) {
 	}
 	s.finishLocked(e, state, out, err)
 	s.mu.Unlock()
+
+	// Spill successful results to the disk CAS outside the scheduler lock —
+	// the fsync belongs on the worker goroutine's clock, not a submitter's.
+	// Failures and cancellations never reach the store, mirroring the
+	// in-memory cache policy.
+	if state == StateDone {
+		s.cfg.Store.Put(e.hash, out)
+	}
 }
 
 // execute invokes the executor with panic containment: a panicking job dumps
@@ -410,14 +481,7 @@ func (s *Scheduler) finishLocked(e *execution, state string, out Output, err err
 	switch state {
 	case StateDone:
 		s.mDone.Inc()
-		s.cached = append(s.cached, e.hash)
-		for len(s.cached) > s.cfg.MaxCachedResults {
-			evict := s.cached[0]
-			s.cached = s.cached[1:]
-			if old, ok := s.execs[evict]; ok && old.state == StateDone {
-				delete(s.execs, evict)
-			}
-		}
+		s.rememberDoneLocked(e.hash)
 	case StateCancelled:
 		s.mCancelled.Inc()
 		delete(s.execs, e.hash)
@@ -540,13 +604,21 @@ func (s *Scheduler) List() []JobStatus {
 // Subscribe attaches to a job's event stream: a replay of everything so
 // far plus a live channel (nil when the job already finished).
 func (s *Scheduler) Subscribe(id string) ([]Event, <-chan Event, func(), error) {
+	return s.SubscribeFrom(id, 0)
+}
+
+// SubscribeFrom is Subscribe resuming after a known event sequence number:
+// the replay carries only events with Seq > after. A reconnecting SSE
+// client passes its Last-Event-ID so a dropped proxy connection resumes
+// the stream instead of duplicating it.
+func (s *Scheduler) SubscribeFrom(id string, after uint64) ([]Event, <-chan Event, func(), error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
 		return nil, nil, nil, ErrUnknownJob
 	}
-	replay, live, cancel := j.exec.hub.subscribe()
+	replay, live, cancel := j.exec.hub.subscribeFrom(after)
 	return replay, live, cancel, nil
 }
 
@@ -604,6 +676,44 @@ func (s *Scheduler) statusLocked(j *job) JobStatus {
 	}
 	return st
 }
+
+// Load reports the scheduler's instantaneous load: queue depth, running
+// executions and the worker count. /readyz serves it so the cluster
+// router's rebalancing and work-stealing decisions see real pressure.
+func (s *Scheduler) Load() Load {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inFlight := 0
+	for _, e := range s.execs {
+		if e.state == StateRunning {
+			inFlight++
+		}
+	}
+	depth := len(s.queue)
+	return Load{
+		QueueDepth: depth,
+		InFlight:   inFlight,
+		Workers:    s.cfg.Workers,
+		Saturated:  inFlight >= s.cfg.Workers && depth > 0,
+	}
+}
+
+// CachedResult answers a federated cache lookup by content address: the
+// in-memory execution table first (no disk touch), then the CAS. It never
+// schedules anything.
+func (s *Scheduler) CachedResult(hash string) (Output, bool) {
+	s.mu.Lock()
+	if e, ok := s.execs[hash]; ok && e.state == StateDone {
+		out := e.out
+		s.mu.Unlock()
+		return out, true
+	}
+	s.mu.Unlock()
+	return s.cfg.Store.Get(hash)
+}
+
+// Store exposes the scheduler's disk CAS (nil when disabled).
+func (s *Scheduler) Store() *CAS { return s.cfg.Store }
 
 // Draining reports whether the scheduler has stopped admitting jobs.
 func (s *Scheduler) Draining() bool {

@@ -39,6 +39,7 @@ func NewServer(sched *Scheduler, reg *obs.Registry) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/accuracy", s.accuracy)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/cache/{hash}", s.cache)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /readyz", s.readyz)
 	s.mux.HandleFunc("GET /debug/flight", s.flight)
@@ -195,8 +196,20 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 // events is GET /v1/jobs/{id}/events: an SSE stream that replays the job's
 // lifecycle so far and then follows it live until the terminal event. A
 // heartbeat comment every 15s keeps idle proxies from closing the stream.
+// Every event carries its hub sequence number as the SSE id, and a client
+// reconnecting with Last-Event-ID resumes after that event instead of
+// replaying the whole stream — which is what makes `photon-ctl watch`
+// survive a dropped proxy connection without duplicating events.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
-	replay, live, cancel, err := s.sched.Subscribe(r.PathValue("id"))
+	var after uint64
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		// A malformed id is treated as "no resume point": replay everything
+		// rather than reject the reconnect.
+		if v, err := strconv.ParseUint(lei, 10, 64); err == nil {
+			after = v
+		}
+	}
+	replay, live, cancel, err := s.sched.SubscribeFrom(r.PathValue("id"), after)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -217,7 +230,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
 		fl.Flush()
 		return true
 	}
@@ -260,7 +273,10 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // readyz reports readiness: 503 once draining starts, so load balancers
-// stop routing new jobs while in-flight ones finish.
+// stop routing new jobs while in-flight ones finish. The 200 body carries
+// the scheduler's load signal (queue depth, in-flight count, worker
+// saturation) for the cluster router's rebalancing and work-stealing;
+// probes that only check the status code are unaffected.
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	if s.sched.Draining() {
 		writeErr(w, http.StatusServiceUnavailable, ErrDraining)
@@ -268,5 +284,27 @@ func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
-	}{"ok"})
+		Load
+	}{"ok", s.sched.Load()})
+}
+
+// cache is GET /v1/cache/{hash}: a federated cache lookup by content
+// address — the in-memory execution table first, then the disk CAS. The
+// cluster router probes the hash-owner node here before scheduling a job
+// anywhere; ?probe=1 answers 204 without shipping the artifacts. 404 means
+// this node has never completed (or has evicted) the request.
+func (s *Server) cache(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	out, ok := s.sched.CachedResult(hash)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no cached result for %s", hash))
+		return
+	}
+	if r.URL.Query().Get("probe") != "" {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, CacheEntry{
+		Hash: hash, Output: out.Text, JSONL: out.JSONL, Accuracy: out.Accuracy,
+	})
 }

@@ -226,36 +226,68 @@ func (p *LanePort) InstFetch(now event.Time, cuID int, instAddr uint64, complete
 // drain (tests and the coordinator's quantum accounting use it).
 func (p *LanePort) PendingRequests() int { return len(p.reqs) }
 
+// laneReqLess is the (at, cu, seq) drain order. The key is total — seq is
+// per-CU unique — so the sorted order is one specific permutation regardless
+// of input order or sort stability.
+func laneReqLess(a, b *laneReq) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.cu != b.cu {
+		return a.cu < b.cu
+	}
+	return a.seq < b.seq
+}
+
+// laneReqsSorted reports whether buf is already in drain order; the linear
+// scan is the precondition for skipping the sort, so skipping can never
+// change the drained order.
+func laneReqsSorted(buf []laneReq) bool {
+	for i := 1; i < len(buf); i++ {
+		if laneReqLess(&buf[i], &buf[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
 // DrainLaneRequests replays every port's deferred requests into the shared
 // L2/DRAM in (at, cu, seq) order and fires their resolve callbacks with the
 // completion times. The sort key is partition-invariant — at and the per-CU
 // seq depend only on the simulated machine's event order, which the quantum
 // protocol fixes — so any lane count produces the same shared-memory
-// schedule, which is the laned engine's determinism argument. Must be
+// schedule, which is the laned engine's determinism argument. A single port
+// skips the merge copy, and the sort runs only when a linear scan finds the
+// batch out of order; both shortcuts preserve the exact drain order. Must be
 // called with all lanes parked (the coordinator owns everything).
 func (h *Hierarchy) DrainLaneRequests(ports []*LanePort) {
-	total := 0
-	for _, p := range ports {
-		total += len(p.reqs)
-	}
-	if total == 0 {
-		return
-	}
-	buf := h.drainBuf[:0]
-	for _, p := range ports {
-		buf = append(buf, p.reqs...)
-		p.reqs = p.reqs[:0]
-	}
-	sort.Slice(buf, func(i, j int) bool {
-		a, b := &buf[i], &buf[j]
-		if a.at != b.at {
-			return a.at < b.at
+	var buf []laneReq
+	if len(ports) == 1 {
+		// Single port: its buffer is already the whole batch — swap it with
+		// the drain buffer instead of copying, so anything the resolve
+		// callbacks record lands in the port's fresh (detached) slice.
+		p := ports[0]
+		if len(p.reqs) == 0 {
+			return
 		}
-		if a.cu != b.cu {
-			return a.cu < b.cu
+		buf, p.reqs = p.reqs, h.drainBuf[:0]
+	} else {
+		total := 0
+		for _, p := range ports {
+			total += len(p.reqs)
 		}
-		return a.seq < b.seq
-	})
+		if total == 0 {
+			return
+		}
+		buf = h.drainBuf[:0]
+		for _, p := range ports {
+			buf = append(buf, p.reqs...)
+			p.reqs = p.reqs[:0]
+		}
+	}
+	if !laneReqsSorted(buf) {
+		sort.Slice(buf, func(i, j int) bool { return laneReqLess(&buf[i], &buf[j]) })
+	}
 	r := l2Router{h}
 	for i := range buf {
 		rq := &buf[i]

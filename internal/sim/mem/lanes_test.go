@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"photon/internal/sim/event"
+	"photon/internal/testutil"
 )
 
 // TestLanePortMatchesSerialSingleCU drives the same access schedule through
@@ -133,6 +134,29 @@ func TestLaneDrainOrderInvariance(t *testing.T) {
 	if len(t1) != len(t2) || sum(t1) != sum(t2) {
 		t.Errorf("completion times depend on recording order: %v vs %v", t1, t2)
 	}
+}
+
+// TestDrainLaneRequestsZeroAllocSteadyState pins the single-port barrier
+// fast path: the drain swaps buffers with the port instead of copying and
+// skips the sort when the batch is already in (at, cu, seq) order, so a
+// warm-set drain touches the allocator zero times.
+func TestDrainLaneRequestsZeroAllocSteadyState(t *testing.T) {
+	h := testHierarchy()
+	p := h.NewLanePort(0, h.cfg.NumCUs-1)
+	ports := []*LanePort{p}
+	fill := func() {
+		for i := 0; i < 64; i++ {
+			p.record(event.Time(i), 0, uint64(0x10000+(i%8)*LineSize), i%2 == 0, false, nil)
+		}
+	}
+	for i := 0; i < 3; i++ { // warm the L2/DRAM sets and both swap buffers
+		fill()
+		h.DrainLaneRequests(ports)
+	}
+	testutil.MustZeroAllocs(t, "Hierarchy.DrainLaneRequests (single port, sorted)", func() {
+		fill()
+		h.DrainLaneRequests(ports)
+	})
 }
 
 // TestFlatViewConcurrent hammers disjoint regions of one Flat through

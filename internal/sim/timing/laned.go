@@ -605,28 +605,57 @@ func (lm *LanedMachine) barrier(tk event.Time) {
 	lm.dispatch(tk)
 }
 
+// obsEventLess is the (at, cu, seq) replay order. The key is total — seq is
+// per-CU unique — so the sorted order is one specific permutation regardless
+// of input order or sort stability.
+func obsEventLess(a, b *obsEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.cu != b.cu {
+		return a.cu < b.cu
+	}
+	return a.seq < b.seq
+}
+
+// obsEventsSorted reports whether buf is already in replay order; a linear
+// scan is the precondition for skipping the sort, so skipping can never
+// change the replayed order.
+func obsEventsSorted(buf []obsEvent) bool {
+	for i := 1; i < len(buf); i++ {
+		if obsEventLess(&buf[i], &buf[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
 // replayObs merges every lane's buffered observer events by (at, cu, seq) —
-// a partition-invariant key — and replays them into the real observer.
+// a partition-invariant key — and replays them into the real observer. With
+// a single lane the lane's own buffer IS the merged stream, so the copy is
+// skipped by swapping buffers with the lane; in both shapes the sort runs
+// only when a linear scan finds the buffer out of order (a lane's engine
+// fires events in time order, so single-lane quanta are usually sorted
+// already).
 func (lm *LanedMachine) replayObs() {
-	buf := lm.replayBuf[:0]
-	for _, ln := range lm.lanes {
-		buf = append(buf, ln.lr.events...)
-		ln.lr.events = ln.lr.events[:0]
+	var buf []obsEvent
+	if len(lm.lanes) == 1 {
+		lr := lm.lanes[0].lr
+		buf, lr.events = lr.events, lm.replayBuf[:0]
+	} else {
+		buf = lm.replayBuf[:0]
+		for _, ln := range lm.lanes {
+			buf = append(buf, ln.lr.events...)
+			ln.lr.events = ln.lr.events[:0]
+		}
 	}
 	if len(buf) == 0 {
 		lm.replayBuf = buf
 		return
 	}
-	sort.Slice(buf, func(i, j int) bool {
-		a, b := &buf[i], &buf[j]
-		if a.at != b.at {
-			return a.at < b.at
-		}
-		if a.cu != b.cu {
-			return a.cu < b.cu
-		}
-		return a.seq < b.seq
-	})
+	if !obsEventsSorted(buf) {
+		sort.Slice(buf, func(i, j int) bool { return obsEventLess(&buf[i], &buf[j]) })
+	}
 	for i := range buf {
 		ev := &buf[i]
 		switch ev.kind {
