@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		bench      = flag.String("bench", "MM", "benchmark: AES|FIR|SC|MM|ReLU|SPMV|pr|vgg16|vgg19|resnet18|resnet34|resnet50|resnet101|resnet152")
+		bench      = flag.String("bench", "MM", "benchmark: AES|FIR|SC|MM|ReLU|SPMV|pr|vgg16|vgg19|resnet18|resnet34|resnet50|resnet101|resnet152|transformer|trainstep")
 		size       = flag.Int("size", 0, "problem size in warps (single-kernel benchmarks; 0 = first figure size); node count for pr")
 		arch       = flag.String("arch", "r9nano", "GPU configuration: r9nano or mi100")
 		mode       = flag.String("mode", "photon", "runner: full|photon|pka|bb|warp|kernel")
@@ -225,6 +225,22 @@ func buildApp(bench string, size int) (*workloads.App, error) {
 			size = spec.Sizes[0]
 		}
 		return spec.Build(size)
+	case "transformer", "xfmr":
+		layers := size
+		if layers == 0 {
+			layers = 2
+		}
+		cfg, err := dnn.ScaledTransformer(layers, dnn.DefaultScale())
+		if err != nil {
+			return nil, err
+		}
+		return dnn.BuildTransformer(cfg)
+	case "trainstep":
+		batch := size
+		if batch == 0 {
+			batch = 2
+		}
+		return dnn.BuildTrainingStep(batch)
 	case "vgg16":
 		return dnn.BuildVGG(16, dnn.DefaultScale())
 	case "vgg19":

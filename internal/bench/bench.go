@@ -27,6 +27,7 @@ import (
 	"photon/internal/sim/kernel"
 	"photon/internal/sim/mem"
 	"photon/internal/workloads"
+	"photon/internal/workloads/dnn"
 )
 
 // Result is one microbenchmark's outcome.
@@ -384,6 +385,11 @@ func Run(w io.Writer) (Report, error) {
 	fmt.Fprintf(w, "%-22s %12.1f ns/op %9d allocs/op %14.0f events/s\n",
 		res.Name, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
 
+	r = testing.Benchmark(xfmrBuildBench)
+	res = toResult("xfmr_block_build", r)
+	rep.Micro = append(rep.Micro, res)
+	fmt.Fprintf(w, "%-22s %12.1f ns/op %9d allocs/op\n", res.Name, res.NsPerOp, res.AllocsPerOp)
+
 	e2e, err := runEndToEnd()
 	if err != nil {
 		return rep, err
@@ -457,6 +463,22 @@ func laneScalingReport() (LaneScaling, error) {
 		ls.Runs = append(ls.Runs, lr)
 	}
 	return ls, nil
+}
+
+// xfmrBuildBench measures the transformer kernel-generator path end to end:
+// one iteration lowers a small encoder block — attention, softmax,
+// LayerNorm and GEMM programs plus their host-reference data — through the
+// shape-keyed program cache. This is the app-construction cost every
+// transformer sweep cell pays before the first simulated cycle.
+func xfmrBuildBench(b *testing.B) {
+	cfg := dnn.TransformerConfig{Heads: 2, DModel: 32, SeqLen: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dnn.BuildTransformerBlock(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // runEndToEnd simulates one small app fully detailed on the R9 Nano model

@@ -172,6 +172,70 @@ func TestAccuracySinkNilSafe(t *testing.T) {
 	s.PublishGauges(obs.NewRegistry())
 }
 
+// TestAccuracyNoBaselineRoundTrip pins the no-baseline contract across the
+// whole pipeline: a record with DetailedCycles 0 (no full-detailed kernel
+// lined up) serializes without detailed_cycles/err_pct keys, parses back,
+// and is treated by every consumer — sink roll-up, photon-report -accuracy
+// and photon-ctl accuracy -summary, both of which call SummarizeAccuracy —
+// as "no baseline", never as a perfect 0% error.
+func TestAccuracyNoBaselineRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewAccuracySink(&buf)
+	recs := []AccuracyRecord{
+		{Bench: "Xfmr-L2", Runner: "photon", Kernel: "L1.ln1", Index: 0, Tier: "full",
+			PredictedCycles: 120, DetailedCycles: 100, ErrPct: 20, Insts: 10},
+		// The satellite's record shape: a sampled kernel with no baseline.
+		{Bench: "Xfmr-L2", Runner: "photon", Kernel: "L2.ln1", Index: 9, Tier: "kernel-sampling",
+			PredictedCycles: 100, Insts: 10},
+	}
+	for _, r := range recs {
+		if err := s.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Emit's guard: the baseline-less record contributes to Kernels but not
+	// to the error distribution, so the mean stays the first record's 20%.
+	sum := s.Summary()
+	for _, want := range []string{"2 kernels", "mean |err| 20.00%", "max 20.00%"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("sink summary missing %q: %s", want, sum)
+		}
+	}
+	// Serialization: omitempty must drop the zero baseline fields so the
+	// ledger never shows a spurious err_pct:0 that reads as "0% error".
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ledger lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, key := range []string{"detailed_cycles", "err_pct"} {
+		if strings.Contains(lines[1], key) {
+			t.Errorf("no-baseline record must omit %q: %s", key, lines[1])
+		}
+	}
+
+	back, err := ReadAccuracyRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		t.Fatalf("round trip changed records:\ngot  %+v\nwant %+v", back, recs)
+	}
+	sums := SummarizeAccuracy(back)
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	got := sums[0]
+	if got.Kernels != 2 || got.Tiers["kernel-sampling"] != 1 {
+		t.Fatalf("summary counts wrong: %+v", got)
+	}
+	// The readers' guard, same as Emit's: mean/max over baselined records
+	// only. Were the zero DetailedCycles counted, the mean would halve.
+	if got.MeanErr != 20 || got.MaxErr != 20 {
+		t.Fatalf("no-baseline record leaked into error stats: mean %v max %v, want 20/20",
+			got.MeanErr, got.MaxErr)
+	}
+}
+
 func TestReadAccuracyRecordsRejectsGarbage(t *testing.T) {
 	_, err := ReadAccuracyRecords(strings.NewReader("{\"bench\":\"FIR\"}\nnot json\n"))
 	if err == nil {

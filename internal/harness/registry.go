@@ -46,6 +46,7 @@ func Experiments() []Experiment {
 		{"waitcnt", "basic blocks split at s_waitcnt (paper future work)", WaitcntAblation},
 		{"extensions", "Photon on atomics workloads (HIST, KMEANS, BFS)", ExtensionsExperiment},
 		{"baselines", "PKA vs TBPoint vs Photon, one size per benchmark", Baselines},
+		{"transformer", "transformer & training-step accuracy envelope (modern ML)", TransformerEnvelope},
 	}
 }
 
@@ -118,6 +119,28 @@ func FindBench(bench string, size int) (Point, error) {
 			Bench: fmt.Sprintf("VGG-%d", depth),
 			Build: func() (*workloads.App, error) { return dnn.BuildVGG(depth, dnn.DefaultScale()) },
 		}, nil
+	case "transformer", "xfmr":
+		layers := size
+		if layers == 0 {
+			layers = transformerQuick().Layers
+		}
+		cfg := transformerQuick()
+		cfg.Layers = layers
+		return Point{
+			Bench: fmt.Sprintf("Xfmr-L%d", layers),
+			Size:  layers,
+			Build: func() (*workloads.App, error) { return dnn.BuildTransformer(cfg) },
+		}, nil
+	case "trainstep":
+		batch := size
+		if batch == 0 {
+			batch = 2
+		}
+		return Point{
+			Bench: fmt.Sprintf("TrainStep-b%d", batch),
+			Size:  batch,
+			Build: func() (*workloads.App, error) { return dnn.BuildTrainingStep(batch) },
+		}, nil
 	case "resnet18", "resnet34", "resnet50", "resnet101", "resnet152":
 		var depth int
 		fmt.Sscanf(lower, "resnet%d", &depth)
@@ -163,7 +186,7 @@ func findAnySpec(bench string) (workloads.Spec, error) {
 		names = append(names, s.Abbr)
 	}
 	sort.Strings(names)
-	return workloads.Spec{}, fmt.Errorf("unknown benchmark %q (want one of %s, pr, vgg16/19, resnet18/34/50/101/152)",
+	return workloads.Spec{}, fmt.Errorf("unknown benchmark %q (want one of %s, pr, vgg16/19, resnet18/34/50/101/152, transformer, trainstep)",
 		bench, strings.Join(names, ", "))
 }
 

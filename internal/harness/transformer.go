@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"photon/internal/core"
+	"photon/internal/sim/gpu"
+	"photon/internal/workloads"
+	"photon/internal/workloads/dnn"
+)
+
+// The transformer accuracy-envelope experiment: modern-ML workloads —
+// transformer encoder stacks (attention, softmax, LayerNorm, GEMM) and a
+// conv/fc training step (forward + backward + SGD) — compared under
+// kernel-sampling alone and full Photon against the full-detailed
+// baseline. Transformer traffic is the extreme case for the
+// kernel-sampling tier: every layer re-launches byte-identical programs,
+// so the stability detector should collapse most of the stack onto the
+// first layer's measurements. With Options.Accuracy set, RunSweep emits
+// the per-kernel ledger this experiment's error envelopes are read from.
+
+// transformerQuick is the quick-mode stack configuration.
+func transformerQuick() dnn.TransformerConfig {
+	return dnn.TransformerConfig{Layers: 2, Heads: 2, DModel: 64, SeqLen: 32}
+}
+
+// transformerPoints enumerates the experiment's sweep cells.
+func transformerPoints(o Options) ([]Point, error) {
+	if o.Quick {
+		cfg := transformerQuick()
+		return []Point{
+			{Bench: fmt.Sprintf("Xfmr-L%d", cfg.Layers), Size: cfg.Layers,
+				Build: func() (*workloads.App, error) { return dnn.BuildTransformer(cfg) }},
+			{Bench: "TrainStep-b2", Size: 2,
+				Build: func() (*workloads.App, error) { return dnn.BuildTrainingStep(2) }},
+		}, nil
+	}
+	scaled, err := dnn.ScaledTransformer(4, o.DNNScale)
+	if err != nil {
+		return nil, err
+	}
+	block := scaled
+	block.Layers = 1
+	return []Point{
+		{Bench: "Xfmr-block", Size: 1,
+			Build: func() (*workloads.App, error) { return dnn.BuildTransformerBlock(block) }},
+		{Bench: fmt.Sprintf("Xfmr-L%d", scaled.Layers), Size: scaled.Layers,
+			Build: func() (*workloads.App, error) { return dnn.BuildTransformer(scaled) }},
+		{Bench: "TrainStep-b4", Size: 4,
+			Build: func() (*workloads.App, error) { return dnn.BuildTrainingStep(4) }},
+	}, nil
+}
+
+// TransformerEnvelope runs the modern-ML accuracy envelope: sampled vs
+// full-detailed on transformer stacks and the training step.
+func TransformerEnvelope(w io.Writer, o Options) error {
+	fmt.Fprintln(w, "# Transformer & training-step accuracy envelope — kernel-sampling vs Photon (R9 Nano)")
+	PrintHeader(w)
+	pts, err := transformerPoints(o)
+	if err != nil {
+		return err
+	}
+	return o.RunSweep(w, Sweep{
+		Experiment: "transformer",
+		Config:     gpu.R9Nano(),
+		Factories: []RunnerFactory{
+			PhotonFactory("kernel-sampling", o.Params, core.Levels{Kernel: true}),
+			PhotonFactory("photon", o.Params, core.AllLevels()),
+		},
+		Points: pts,
+	})
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The transformer golden files pin the quick transformer/training-step
+// sweep's exact output — text rows, JSONL records, and the per-kernel
+// accuracy ledger — the same way the fig13 goldens pin the classic
+// benchmarks. The laned pair must reproduce byte-for-byte at every -lanes
+// request (CI compares -lanes 1 and -lanes 4 against the same files).
+//
+// Regenerate all six with:
+//
+//	PHOTON_GOLDEN=1 go test ./internal/harness -run TestTransformer.*Golden
+const (
+	xfmrGoldenTxt        = "testdata/transformer_quick.golden.txt"
+	xfmrGoldenJSONL      = "testdata/transformer_quick.golden.jsonl"
+	xfmrGoldenAcc        = "testdata/transformer_quick.golden.accuracy.jsonl"
+	xfmrLanedGoldenTxt   = "testdata/transformer_quick_lanes.golden.txt"
+	xfmrLanedGoldenJSONL = "testdata/transformer_quick_lanes.golden.jsonl"
+	xfmrLanedGoldenAcc   = "testdata/transformer_quick_lanes.golden.accuracy.jsonl"
+)
+
+// xfmrRunnerOrder is the plan order of every transformer sweep cell: the
+// implicit full baseline, then the experiment's two sampled factories.
+var xfmrRunnerOrder = []string{"full", "kernel-sampling", "photon"}
+
+// runTransformerQuick runs the quick transformer envelope and returns the
+// text, JSONL and accuracy-ledger bytes as photon-bench would emit them.
+func runTransformerQuick(t *testing.T, parallel, lanes int) (txt, jsonl, acc []byte) {
+	t.Helper()
+	var txtBuf, jsonBuf, accBuf bytes.Buffer
+	o := DefaultOptions()
+	o.Quick = true
+	o.FixedWall = true
+	o.Parallel = parallel
+	o.Lanes = lanes
+	o.Baselines = NewBaselineCache()
+	o.JSON = NewJSONSink(&jsonBuf)
+	o.Accuracy = NewAccuracySink(&accBuf)
+	if err := TransformerEnvelope(&txtBuf, o); err != nil {
+		t.Fatal(err)
+	}
+	// photon-bench prints a blank separator line after each experiment; the
+	// goldens are captured from its stdout.
+	txtBuf.WriteByte('\n')
+	return txtBuf.Bytes(), jsonBuf.Bytes(), accBuf.Bytes()
+}
+
+// checkXfmrGoldenArtifacts validates one committed golden set: parseable
+// records of the expected sweep shape, text/JSONL agreement, and a ledger
+// whose kernel-sampling tier actually fired — the experiment's headline
+// claim is that repeated transformer layers collapse onto the first layer's
+// measurements, and a golden where that never happens is wrong even if
+// internally consistent.
+func checkXfmrGoldenArtifacts(t *testing.T, txtPath, jsonlPath, accPath string) []Record {
+	t.Helper()
+	jf, err := os.Open(filepath.FromSlash(jsonlPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	recs, err := ReadRecords(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs)%len(xfmrRunnerOrder) != 0 {
+		t.Fatalf("golden has %d records, want a positive multiple of %d", len(recs), len(xfmrRunnerOrder))
+	}
+	txt, err := os.ReadFile(filepath.FromSlash(txtPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(txt), "\n"), "\n")
+	// "# ..." title + column line + one row per record.
+	if want := 2 + len(recs); len(lines) != want {
+		t.Fatalf("golden txt has %d lines, want %d (2 header + %d rows)", len(lines), want, len(recs))
+	}
+	benches := map[string]bool{}
+	for i, r := range recs {
+		if r.Experiment != "transformer" {
+			t.Fatalf("record %d experiment = %q, want transformer", i, r.Experiment)
+		}
+		if want := xfmrRunnerOrder[i%len(xfmrRunnerOrder)]; r.Runner != want {
+			t.Fatalf("record %d runner = %q, want %q (plan order)", i, r.Runner, want)
+		}
+		if r.Runner == "full" && r.SimCycles != r.FullCycles {
+			t.Fatalf("record %d: full runner sim_cycles %d != full_cycles %d", i, r.SimCycles, r.FullCycles)
+		}
+		row := lines[2+i]
+		if !strings.HasPrefix(row, r.Bench) || !strings.Contains(row, " "+r.Runner+" ") {
+			t.Fatalf("txt row %d %q does not match record %s/%s", i, row, r.Bench, r.Runner)
+		}
+		benches[r.Bench] = true
+	}
+	if !benches["TrainStep-b2"] {
+		t.Fatalf("golden covers %v, missing the training-step point", benches)
+	}
+
+	af, err := os.Open(filepath.FromSlash(accPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Close()
+	ledger, err := ReadAccuracyRecords(af)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmatch := 0
+	for _, r := range ledger {
+		if r.Tier == "kernel-sampling" {
+			kmatch++
+		}
+	}
+	if kmatch == 0 {
+		t.Fatalf("accuracy golden has %d records but the kernel-sampling tier never fired", len(ledger))
+	}
+	return recs
+}
+
+func TestTransformerGoldenArtifacts(t *testing.T) {
+	checkXfmrGoldenArtifacts(t, xfmrGoldenTxt, xfmrGoldenJSONL, xfmrGoldenAcc)
+}
+
+func TestTransformerLanedGoldenArtifacts(t *testing.T) {
+	laned := checkXfmrGoldenArtifacts(t, xfmrLanedGoldenTxt, xfmrLanedGoldenJSONL, xfmrLanedGoldenAcc)
+	// Same sweep, same shape as the serial goldens, in the same order.
+	sf, err := os.Open(filepath.FromSlash(xfmrGoldenJSONL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	serial, err := ReadRecords(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(laned) {
+		t.Fatalf("laned golden has %d records, serial golden %d", len(laned), len(serial))
+	}
+	for i := range laned {
+		if laned[i].Bench != serial[i].Bench || laned[i].Size != serial[i].Size || laned[i].Runner != serial[i].Runner {
+			t.Fatalf("record %d: laned (%s,%d,%s) != serial (%s,%d,%s)", i,
+				laned[i].Bench, laned[i].Size, laned[i].Runner,
+				serial[i].Bench, serial[i].Size, serial[i].Runner)
+		}
+	}
+}
+
+// regenOrCompare byte-compares got against the committed golden, rewriting
+// it first when PHOTON_GOLDEN=1 (the regeneration path).
+func regenOrCompare(t *testing.T, path string, got []byte, what string) {
+	t.Helper()
+	p := filepath.FromSlash(path)
+	if os.Getenv("PHOTON_GOLDEN") == "1" {
+		if err := os.WriteFile(p, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden %s:\n%s", what, path, diffHint(got, want))
+	}
+}
+
+// TestTransformerMatchesGolden re-runs the quick transformer envelope
+// serially and with 4 workers: the serial artifacts must match the committed
+// goldens byte-for-byte and the 4-worker run must match the serial one (the
+// ledger is emitted in plan order, so worker count must not reorder it).
+// The quick stack is small, so unlike fig13 this runs in every `go test`.
+func TestTransformerMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick transformer sweep")
+	}
+	txt, jsonl, acc := runTransformerQuick(t, 1, 0)
+	regenOrCompare(t, xfmrGoldenTxt, txt, "transformer text output")
+	regenOrCompare(t, xfmrGoldenJSONL, jsonl, "transformer JSONL records")
+	regenOrCompare(t, xfmrGoldenAcc, acc, "transformer accuracy ledger")
+
+	ptxt, pjsonl, pacc := runTransformerQuick(t, 4, 0)
+	if !bytes.Equal(txt, ptxt) || !bytes.Equal(jsonl, pjsonl) || !bytes.Equal(pacc, acc) {
+		t.Error("4-worker transformer sweep is not byte-identical to the serial run")
+	}
+}
+
+// TestTransformerLanedMatchesGolden is the laned sibling: the lane request
+// is deliberately larger than most hosts resolve, because lane-count
+// invariance means the bytes must not depend on what LaneBudget grants.
+func TestTransformerLanedMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick transformer sweep")
+	}
+	txt, jsonl, acc := runTransformerQuick(t, 1, 8)
+	regenOrCompare(t, xfmrLanedGoldenTxt, txt, "laned transformer text output")
+	regenOrCompare(t, xfmrLanedGoldenJSONL, jsonl, "laned transformer JSONL records")
+	regenOrCompare(t, xfmrLanedGoldenAcc, acc, "laned transformer accuracy ledger")
+
+	txt1, jsonl1, acc1 := runTransformerQuick(t, 1, 1)
+	if !bytes.Equal(txt, txt1) || !bytes.Equal(jsonl, jsonl1) || !bytes.Equal(acc, acc1) {
+		t.Error("laned transformer sweep output depends on the lane count")
+	}
+}

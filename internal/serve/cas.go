@@ -44,8 +44,15 @@ type CAS struct {
 	bytes   int64
 
 	log *obs.Logger
+	// touchLog rate-limits the recency-touch failure warning: a read-only
+	// store directory makes every Get fail the touch, and one warning per
+	// minute identifies the condition without flooding the sink.
+	touchLog *obs.Logger
+	// touch updates a file's mtime; os.Chtimes outside tests.
+	touch func(path string, atime, mtime time.Time) error
 
 	mHits, mMisses, mPuts, mEvictions, mErrors *obs.Counter
+	mTouchErrors                               *obs.Counter
 	gBytes, gEntries                           *obs.Gauge
 }
 
@@ -85,12 +92,15 @@ func OpenCAS(dir string, maxBytes int64, reg *obs.Registry, log *obs.Logger) (*C
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
 		log:      log,
+		touchLog: log.WithRateLimit(1, time.Minute),
+		touch:    os.Chtimes,
 
-		mHits:      reg.Counter("serve_cas_hits"),
-		mMisses:    reg.Counter("serve_cas_misses"),
-		mPuts:      reg.Counter("serve_cas_puts"),
-		mEvictions: reg.Counter("serve_cas_evictions"),
-		mErrors:    reg.Counter("serve_cas_errors"),
+		mHits:        reg.Counter("serve_cas_hits"),
+		mMisses:      reg.Counter("serve_cas_misses"),
+		mPuts:        reg.Counter("serve_cas_puts"),
+		mEvictions:   reg.Counter("serve_cas_evictions"),
+		mErrors:      reg.Counter("serve_cas_errors"),
+		mTouchErrors: reg.Counter("serve_cas_touch_errors"),
 		gBytes:     reg.Gauge("serve_cas_bytes"),
 		gEntries:   reg.Gauge("serve_cas_entries"),
 	}
@@ -196,9 +206,17 @@ func (c *CAS) Get(hash string) (Output, bool) {
 		return Output{}, false
 	}
 	// Mirror recency onto mtime so a post-restart scan rebuilds the same
-	// LRU order. Best-effort: a failed touch only skews future eviction.
+	// LRU order. A failed touch still serves the hit — only post-restart
+	// eviction order skews — but it is not silent: persistent failures
+	// (read-only directory, wrong ownership after a migration) would
+	// otherwise surface as inexplicable evictions of hot entries after the
+	// next restart. Count every failure; warn at most once a minute.
 	now := time.Now()
-	_ = os.Chtimes(path, now, now)
+	if err := c.touch(path, now, now); err != nil {
+		c.mTouchErrors.Inc()
+		c.touchLog.Warn("cas: recency touch failed (restart eviction order will skew)",
+			slog.String("hash", short(hash)), slog.String("error", err.Error()))
+	}
 	c.mHits.Inc()
 	return Output{Text: rec.Text, JSONL: rec.JSONL, Accuracy: rec.Accuracy}, true
 }

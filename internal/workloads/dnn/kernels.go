@@ -58,6 +58,35 @@ func emitGeometry(b *isa.Builder, g warpGeometry) {
 	b.I(isa.OpSAndSaveExec, isa.Mask(0))
 }
 
+// emitBatchSplit prepends the batch decomposition for batched grids: the
+// global warp id s2 is split into a batch index and a within-batch warp id
+// (written back to s2, so the batch-1 body that follows is unchanged), and
+// each (argReg, batchStride) pair has its sample offset folded into the
+// scalar base-address register. Emits nothing for batch 1, keeping batch-1
+// programs byte-identical to the pre-batching ones.
+func emitBatchSplit(b *isa.Builder, batch, warpsPerBatch int, offsets [][2]int) {
+	if batch <= 1 {
+		return
+	}
+	b.I(isa.OpSDiv, isa.S(17), isa.S(2), isa.Imm(int32(warpsPerBatch)))
+	b.I(isa.OpSMod, isa.S(2), isa.S(2), isa.Imm(int32(warpsPerBatch)))
+	for _, o := range offsets {
+		argReg, stride := o[0], o[1]
+		b.I(isa.OpSMul, isa.S(18), isa.S(17), isa.Imm(int32(4*stride)))
+		b.I(isa.OpSAdd, isa.S(argReg), isa.S(argReg), isa.S(18))
+	}
+}
+
+// batchKey tags a program-cache key with the batch size only when it
+// changes the emitted code, so batch-1 keys stay identical to the
+// pre-batching ones.
+func batchKey(batch int) string {
+	if batch <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("_b%d", batch)
+}
+
 // ConvSpec is a convolution layer shape.
 type ConvSpec struct {
 	CI, CO         int
@@ -91,7 +120,9 @@ func convProgram(cs ConvSpec, in, out Tensor) *isa.Program {
 	inRS, inCS := in.rowStride(), in.chanStride()
 	outRS, outCS := out.rowStride(), out.chanStride()
 
-	b := isa.NewBuilder(cs.key())
+	b := isa.NewBuilder(cs.key() + batchKey(in.batch()))
+	emitBatchSplit(b, in.batch(), cs.CO*g.warpsPerCh,
+		[][2]int{{8, in.batchStride()}, {10, out.batchStride()}})
 	emitGeometry(b, g)
 	// vRowOffIn = (dy*stride*inRS + ox*stride)*4 bytes
 	b.I(isa.OpVMul, isa.V(3), isa.V(1), isa.Imm(int32(cs.Stride*inRS)))
@@ -157,11 +188,12 @@ func (n *Net) Conv(name string, in Tensor, co, k, stride, pad, outPad int, relu 
 	cs := ConvSpec{CI: in.C, CO: co, IH: in.H, IW: in.W, K: k, Stride: stride,
 		Pad: pad, OutPad: outPad, ReLU: relu}
 	oh, ow := cs.Out()
-	out := n.NewTensor(co, oh, ow, outPad)
+	out := n.NewBatchTensor(in.batch(), co, oh, ow, outPad)
 	weights := n.allocWeights(co * in.C * k * k)
-	p := n.program(cs.key()+inOutKey(in, out), func() *isa.Program { return convProgram(cs, in, out) })
+	p := n.program(cs.key()+inOutKey(in, out)+batchKey(in.batch()),
+		func() *isa.Program { return convProgram(cs, in, out) })
 	g := geometry(oh, ow)
-	n.addLaunch(name, p, co*g.warpsPerCh, 1,
+	n.addLaunch(name, p, in.batch()*co*g.warpsPerCh, 1,
 		[]uint32{uint32(in.Base), uint32(weights), uint32(out.Base)})
 	return out
 }
@@ -179,7 +211,9 @@ func poolProgram(c, ih, iw, k, stride, pad int, in, out Tensor) *isa.Program {
 	extra := in.Pad - pad
 	inRS, inCS := in.rowStride(), in.chanStride()
 	outRS, outCS := out.rowStride(), out.chanStride()
-	b := isa.NewBuilder(fmt.Sprintf("pool_c%d_i%dx%d_k%d_s%d_p%d", c, ih, iw, k, stride, pad))
+	b := isa.NewBuilder(fmt.Sprintf("pool_c%d_i%dx%d_k%d_s%d_p%d", c, ih, iw, k, stride, pad) + batchKey(in.batch()))
+	emitBatchSplit(b, in.batch(), c*g.warpsPerCh,
+		[][2]int{{8, in.batchStride()}, {9, out.batchStride()}})
 	emitGeometry(b, g)
 	b.I(isa.OpVMul, isa.V(3), isa.V(1), isa.Imm(int32(stride*inRS)))
 	b.I(isa.OpVLShl, isa.V(9), isa.V(2), isa.Imm(int32(log2(stride))))
@@ -224,21 +258,25 @@ func (n *Net) MaxPool(name string, in Tensor, k, stride, pad, outPad int) Tensor
 	}
 	oh := (in.H+2*pad-k)/stride + 1
 	ow := (in.W+2*pad-k)/stride + 1
-	out := n.NewTensor(in.C, oh, ow, outPad)
-	key := fmt.Sprintf("pool_c%d_i%dx%d_k%d_s%d_p%d_op%d", in.C, in.H, in.W, k, stride, pad, outPad) + inOutKey(in, out)
+	out := n.NewBatchTensor(in.batch(), in.C, oh, ow, outPad)
+	key := fmt.Sprintf("pool_c%d_i%dx%d_k%d_s%d_p%d_op%d", in.C, in.H, in.W, k, stride, pad, outPad) +
+		inOutKey(in, out) + batchKey(in.batch())
 	p := n.program(key, func() *isa.Program {
 		return poolProgram(in.C, in.H, in.W, k, stride, pad, in, out)
 	})
 	g := geometry(oh, ow)
-	n.addLaunch(name, p, in.C*g.warpsPerCh, 1,
+	n.addLaunch(name, p, in.batch()*in.C*g.warpsPerCh, 1,
 		[]uint32{uint32(in.Base), uint32(out.Base)})
 	return out
 }
 
-// fcProgram: out[o] = act(sum_i wT[i][o]*x[i] + bias[o]) for o < OUT.
-// Args: s8=x, s9=wT, s10=out, s11=bias.
-func fcProgram(inN, outN int, relu bool) *isa.Program {
-	b := isa.NewBuilder(fmt.Sprintf("fc_%d_%d_r%v", inN, outN, relu))
+// fcProgram: out[o] = act(sum_i wT[i][o]*x[i] + bias[o]) for o < OUT; with
+// batch > 1 each sample's x/out are offset by inN/outN words (weights and
+// bias shared). Args: s8=x, s9=wT, s10=out, s11=bias.
+func fcProgram(inN, outN, batch int, relu bool) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("fc_%d_%d_r%v", inN, outN, relu) + batchKey(batch))
+	warpsPerBatch := (outN + kernel.WavefrontSize - 1) / kernel.WavefrontSize
+	emitBatchSplit(b, batch, warpsPerBatch, [][2]int{{8, inN}, {10, outN}})
 	b.I(isa.OpSLShl, isa.S(4), isa.S(2), isa.Imm(6))
 	b.I(isa.OpVAdd, isa.V(1), isa.V(0), isa.S(4)) // o
 	b.I(isa.OpVCmpLt, isa.Operand{}, isa.V(1), isa.Imm(int32(outN)))
@@ -281,15 +319,16 @@ func (n *Net) FC(name string, in Tensor, outN int, relu bool) Tensor {
 		panic(fmt.Sprintf("dnn: %s: FC input must be unpadded", name))
 	}
 	inN := in.C * in.H * in.W
-	out := Tensor{C: outN, H: 1, W: 1}
-	out.Base = n.app.Mem.Alloc(uint64(4 * outN))
+	batch := in.batch()
+	out := Tensor{N: batch, C: outN, H: 1, W: 1}
+	out.Base = n.app.Mem.Alloc(uint64(4 * batch * outN))
 	weights := n.allocWeights(inN * outN)
 	bias := n.allocWeights(outN)
-	p := n.program(fmt.Sprintf("fc_%d_%d_r%v", inN, outN, relu), func() *isa.Program {
-		return fcProgram(inN, outN, relu)
+	p := n.program(fmt.Sprintf("fc_%d_%d_r%v", inN, outN, relu)+batchKey(batch), func() *isa.Program {
+		return fcProgram(inN, outN, batch, relu)
 	})
 	warps := (outN + kernel.WavefrontSize - 1) / kernel.WavefrontSize
-	n.addLaunch(name, p, warps, 1,
+	n.addLaunch(name, p, batch*warps, 1,
 		[]uint32{uint32(in.Base), uint32(weights), uint32(out.Base), uint32(bias)})
 	return out
 }

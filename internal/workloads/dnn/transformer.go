@@ -1,0 +1,357 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+
+	"photon/internal/sim/isa"
+	"photon/internal/sim/kernel"
+	"photon/internal/sim/mem"
+	"photon/internal/workloads"
+)
+
+// Transformer encoder blocks (pre-LN), lowered to the simulator's kernels:
+// per layer LN1 -> Q/K/V projections -> per-head QK^T, softmax, PV ->
+// output projection (+residual) -> LN2 -> FFN (+residual). Every layer and
+// every head reuses the same shape-keyed programs, so the kernel sequence
+// repeats the way real transformer traffic does — exactly the structure
+// Photon's kernel-sampling tier keys on.
+
+// TransformerConfig sizes a transformer stack.
+type TransformerConfig struct {
+	Layers, Heads  int
+	DModel, SeqLen int
+	// FFNMult is the FFN expansion factor (default 4).
+	FFNMult int
+}
+
+func (cfg TransformerConfig) headDim() int { return cfg.DModel / cfg.Heads }
+
+func (cfg *TransformerConfig) validate() error {
+	if cfg.FFNMult == 0 {
+		cfg.FFNMult = 4
+	}
+	switch {
+	case cfg.Layers < 1:
+		return fmt.Errorf("dnn: transformer needs at least one layer")
+	case cfg.Heads < 1:
+		return fmt.Errorf("dnn: transformer needs at least one head")
+	case cfg.DModel%cfg.Heads != 0:
+		return fmt.Errorf("dnn: d_model %d not divisible by %d heads", cfg.DModel, cfg.Heads)
+	case cfg.headDim() > kernel.WavefrontSize:
+		return fmt.Errorf("dnn: head dim %d exceeds wavefront size", cfg.headDim())
+	case cfg.FFNMult < 1:
+		return fmt.Errorf("dnn: FFN multiplier %d must be positive", cfg.FFNMult)
+	}
+	for _, d := range [][2]interface{}{{"seq_len", cfg.SeqLen}, {"d_model", cfg.DModel}} {
+		v := d[1].(int)
+		if v <= 0 || v&(v-1) != 0 || v > 256 {
+			return fmt.Errorf("dnn: %s = %d must be a power of two in [1, 256]", d[0], v)
+		}
+	}
+	return nil
+}
+
+// xfmr accumulates the launches and their host-reference checks.
+type xfmr struct {
+	n      *Net
+	cfg    TransformerConfig
+	checks []func(m *mem.Flat) error
+}
+
+// lastArgs returns the most recent launch's name and args.
+func (t *xfmr) lastArgs() (string, []uint32) {
+	l := t.n.App().Launches[len(t.n.App().Launches)-1]
+	return l.Name, l.Args
+}
+
+func (t *xfmr) gemm(name string, x Mat, outCols int, relu bool, residual *Mat) Mat {
+	y := t.n.GEMM(name, x, outCols, relu, residual)
+	gs := GemmSpec{M: x.R, K: x.C, N: outCols, ReLU: relu, Residual: residual != nil}
+	ln, args := t.lastArgs()
+	t.checks = append(t.checks, func(m *mem.Flat) error { return checkGEMM(m, ln, args, gs) })
+	return y
+}
+
+func (t *xfmr) layerNorm(name string, x Mat) Mat {
+	y := t.n.LayerNorm(name, x)
+	ln, args := t.lastArgs()
+	rows, dim := x.R, x.C
+	t.checks = append(t.checks, func(m *mem.Flat) error { return checkLayerNorm(m, ln, args, rows, dim) })
+	return y
+}
+
+// attnScores launches scores = scale·Q_h·K_h^T for head h (column offset
+// hOff words into the d_model axis).
+func (t *xfmr) attnScores(name string, q, k Mat, hOff int) Mat {
+	cfg := t.cfg
+	s := t.n.NewMat(cfg.SeqLen, cfg.SeqLen)
+	p := t.n.program(fmt.Sprintf("attn_scores_s%d_d%d_t%d", cfg.SeqLen, cfg.headDim(), cfg.DModel),
+		func() *isa.Program { return attnScoresProgram(cfg.SeqLen, cfg.headDim(), cfg.DModel) })
+	blocks := (cfg.SeqLen + kernel.WavefrontSize - 1) / kernel.WavefrontSize
+	t.n.addLaunch(name, p, cfg.SeqLen*blocks, 1, []uint32{
+		uint32(q.Base) + uint32(4*hOff), uint32(k.Base) + uint32(4*hOff), uint32(s.Base)})
+	ln, args := t.lastArgs()
+	t.checks = append(t.checks, func(m *mem.Flat) error {
+		return checkAttnScores(m, ln, args, cfg.SeqLen, cfg.headDim(), cfg.DModel)
+	})
+	return s
+}
+
+// softmaxRows launches a row softmax over s.
+func (t *xfmr) softmaxRows(name string, s Mat) Mat {
+	out := t.n.NewMat(s.R, s.C)
+	_, warps := rowGroup("softmax", s.C)
+	p := t.n.program(fmt.Sprintf("softmax_s%d", s.C), func() *isa.Program { return softmaxProgram(s.C) })
+	t.n.addLaunch(name, p, s.R, warps, []uint32{uint32(s.Base), uint32(out.Base)})
+	ln, args := t.lastArgs()
+	rows, seq := s.R, s.C
+	t.checks = append(t.checks, func(m *mem.Flat) error { return checkSoftmax(m, ln, args, rows, seq) })
+	return out
+}
+
+// attnPV launches out_h = P·V_h into head h's columns of out.
+func (t *xfmr) attnPV(name string, p, v, out Mat, hOff int) {
+	cfg := t.cfg
+	prog := t.n.program(fmt.Sprintf("attn_pv_s%d_d%d_t%d", cfg.SeqLen, cfg.headDim(), cfg.DModel),
+		func() *isa.Program { return attnPVProgram(cfg.SeqLen, cfg.headDim(), cfg.DModel) })
+	t.n.addLaunch(name, prog, cfg.SeqLen, 1, []uint32{
+		uint32(p.Base), uint32(v.Base) + uint32(4*hOff), uint32(out.Base) + uint32(4*hOff)})
+	ln, args := t.lastArgs()
+	t.checks = append(t.checks, func(m *mem.Flat) error {
+		return checkAttnPV(m, ln, args, cfg.SeqLen, cfg.headDim(), cfg.DModel)
+	})
+}
+
+// layer appends one pre-LN encoder block and returns its output.
+func (t *xfmr) layer(l int, x Mat) Mat {
+	cfg := t.cfg
+	pre := fmt.Sprintf("L%d.", l+1)
+	xn := t.layerNorm(pre+"ln1", x)
+	q := t.gemm(pre+"q", xn, cfg.DModel, false, nil)
+	k := t.gemm(pre+"k", xn, cfg.DModel, false, nil)
+	v := t.gemm(pre+"v", xn, cfg.DModel, false, nil)
+	attnOut := t.n.NewMat(cfg.SeqLen, cfg.DModel)
+	for h := 0; h < cfg.Heads; h++ {
+		hOff := h * cfg.headDim()
+		hp := fmt.Sprintf("%sh%d.", pre, h+1)
+		scores := t.attnScores(hp+"qk", q, k, hOff)
+		probs := t.softmaxRows(hp+"softmax", scores)
+		t.attnPV(hp+"pv", probs, v, attnOut, hOff)
+	}
+	h1 := t.gemm(pre+"proj", attnOut, cfg.DModel, false, &x)
+	h1n := t.layerNorm(pre+"ln2", h1)
+	f := t.gemm(pre+"ffn1", h1n, cfg.FFNMult*cfg.DModel, true, nil)
+	return t.gemm(pre+"ffn2", f, cfg.DModel, false, &h1)
+}
+
+// BuildTransformer constructs a transformer encoder stack. The returned
+// app's Check replays every kernel on the host in the exact float32
+// accumulation order and demands bit equality.
+func BuildTransformer(cfg TransformerConfig) (*workloads.App, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &xfmr{cfg: cfg}
+	t.n = NewNet(fmt.Sprintf("Xfmr-L%d-H%d-D%d-S%d", cfg.Layers, cfg.Heads, cfg.DModel, cfg.SeqLen),
+		0xa77e+uint64(cfg.Layers*1000+cfg.DModel))
+	x := t.n.InputMat(cfg.SeqLen, cfg.DModel)
+	for l := 0; l < cfg.Layers; l++ {
+		x = t.layer(l, x)
+	}
+	app := t.n.App()
+	checks := t.checks
+	app.Check = func() error {
+		for _, c := range checks {
+			if err := c(app.Mem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return app, nil
+}
+
+// BuildTransformerBlock constructs a single encoder block.
+func BuildTransformerBlock(cfg TransformerConfig) (*workloads.App, error) {
+	cfg.Layers = 1
+	return BuildTransformer(cfg)
+}
+
+// ScaledTransformer derives a transformer configuration from the CNN
+// scale: d_model = 512/ChannelDiv via ChExact (no silent flooring — see
+// Scale.ch), seq_len = Input, heads sized so head_dim stays 32.
+func ScaledTransformer(layers int, sc Scale) (TransformerConfig, error) {
+	d, err := sc.ChExact("transformer d_model", 512)
+	if err != nil {
+		return TransformerConfig{}, err
+	}
+	heads := d / 32
+	if heads < 1 {
+		heads = 1
+	}
+	return TransformerConfig{Layers: layers, Heads: heads, DModel: d, SeqLen: sc.Input}, nil
+}
+
+// --- host references (exact float32 replay of each kernel) ---
+
+func mismatch(kernel string, idx int, got, want float32) error {
+	return fmt.Errorf("dnn: %s: element %d = %v, want %v", kernel, idx, got, want)
+}
+
+func readRow(m *mem.Flat, base uint32, off, n int) []float32 {
+	return m.ReadFloats(uint64(base)+uint64(4*off), n)
+}
+
+// checkGEMM replays y = act(x·w + bias [+ res]) in the kernel's k order.
+func checkGEMM(m *mem.Flat, name string, args []uint32, gs GemmSpec) error {
+	x := readRow(m, args[0], 0, gs.M*gs.K)
+	w := readRow(m, args[1], 0, gs.K*gs.N)
+	y := readRow(m, args[2], 0, gs.M*gs.N)
+	bias := readRow(m, args[3], 0, gs.N)
+	var res []float32
+	if gs.Residual {
+		res = readRow(m, args[4], 0, gs.M*gs.N)
+	}
+	for i := 0; i < gs.M; i++ {
+		for j := 0; j < gs.N; j++ {
+			var acc float32
+			for k := 0; k < gs.K; k++ {
+				acc = w[k*gs.N+j]*x[i*gs.K+k] + acc
+			}
+			acc = acc + bias[j]
+			if gs.Residual {
+				acc = acc + res[i*gs.N+j]
+			}
+			if gs.ReLU {
+				acc = float32(math.Max(float64(acc), 0))
+			}
+			if got := y[i*gs.N+j]; got != acc {
+				return mismatch(name, i*gs.N+j, got, acc)
+			}
+		}
+	}
+	return nil
+}
+
+// checkAttnScores replays scores = scale·Q_h·K_h^T.
+func checkAttnScores(m *mem.Flat, name string, args []uint32, seq, dHead, stride int) error {
+	scale := float32(1 / math.Sqrt(float64(dHead)))
+	out := readRow(m, args[2], 0, seq*seq)
+	for q := 0; q < seq; q++ {
+		qr := readRow(m, args[0], q*stride, dHead)
+		for j := 0; j < seq; j++ {
+			kr := readRow(m, args[1], j*stride, dHead)
+			var acc float32
+			for d := 0; d < dHead; d++ {
+				acc = kr[d]*qr[d] + acc
+			}
+			acc = acc * scale
+			if got := out[q*seq+j]; got != acc {
+				return mismatch(name, q*seq+j, got, acc)
+			}
+		}
+	}
+	return nil
+}
+
+// treeReduce32 replays the kernel's LDS tree reduction order.
+func treeReduce32(buf []float32, op func(a, b float32) float32) float32 {
+	for stride := len(buf) / 2; stride >= 1; stride /= 2 {
+		for t := 0; t < stride; t++ {
+			buf[t] = op(buf[t], buf[t+stride])
+		}
+	}
+	return buf[0]
+}
+
+func f32max(a, b float32) float32 { return float32(math.Max(float64(a), float64(b))) }
+func f32add(a, b float32) float32 { return a + b }
+
+// checkSoftmax replays the max-subtracted row softmax, including the LDS
+// tree order of both reductions.
+func checkSoftmax(m *mem.Flat, name string, args []uint32, rows, seq int) error {
+	threads := seq
+	if threads < kernel.WavefrontSize {
+		threads = kernel.WavefrontSize
+	}
+	for r := 0; r < rows; r++ {
+		x := readRow(m, args[0], r*seq, seq)
+		got := readRow(m, args[1], r*seq, seq)
+		buf := make([]float32, threads)
+		for t := range buf {
+			if t < seq {
+				buf[t] = x[t]
+			} else {
+				buf[t] = float32(math.Inf(-1))
+			}
+		}
+		mx := treeReduce32(buf, f32max)
+		e := make([]float32, threads)
+		for t := 0; t < seq; t++ {
+			e[t] = float32(math.Exp(float64(x[t] - mx)))
+		}
+		sum := treeReduce32(append([]float32(nil), e...), f32add)
+		rcp := 1 / sum
+		for t := 0; t < seq; t++ {
+			want := e[t] * rcp
+			if got[t] != want {
+				return mismatch(name, r*seq+t, got[t], want)
+			}
+		}
+	}
+	return nil
+}
+
+// checkAttnPV replays out_h = P·V_h.
+func checkAttnPV(m *mem.Flat, name string, args []uint32, seq, dHead, stride int) error {
+	p := readRow(m, args[0], 0, seq*seq)
+	for q := 0; q < seq; q++ {
+		got := readRow(m, args[2], q*stride, dHead)
+		for d := 0; d < dHead; d++ {
+			var acc float32
+			for j := 0; j < seq; j++ {
+				vv := readRow(m, args[1], j*stride+d, 1)[0]
+				acc = vv*p[q*seq+j] + acc
+			}
+			if got[d] != acc {
+				return mismatch(name, q*stride+d, got[d], acc)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLayerNorm replays the two LDS tree sums and the normalization.
+func checkLayerNorm(m *mem.Flat, name string, args []uint32, rows, dim int) error {
+	threads := dim
+	if threads < kernel.WavefrontSize {
+		threads = kernel.WavefrontSize
+	}
+	gamma := readRow(m, args[1], 0, dim)
+	beta := readRow(m, args[2], 0, dim)
+	inv := 1 / float32(dim)
+	for r := 0; r < rows; r++ {
+		x := readRow(m, args[0], r*dim, dim)
+		got := readRow(m, args[3], r*dim, dim)
+		buf := make([]float32, threads)
+		copy(buf, x)
+		mean := treeReduce32(buf, f32add) * inv
+		sq := make([]float32, threads)
+		for t := 0; t < dim; t++ {
+			c := x[t] - mean
+			sq[t] = c * c
+		}
+		variance := treeReduce32(sq, f32add) * inv
+		v := variance + lnEps
+		v = float32(math.Sqrt(float64(v)))
+		rstd := 1 / v
+		for t := 0; t < dim; t++ {
+			want := (x[t]-mean)*rstd*gamma[t] + beta[t]
+			if got[t] != want {
+				return mismatch(name, r*dim+t, got[t], want)
+			}
+		}
+	}
+	return nil
+}
